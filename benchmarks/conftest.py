@@ -1,0 +1,50 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Every bench regenerates one of the paper's tables or figures, printing
+the same rows/series the paper reports and writing a text artifact to
+``benchmarks/results/``.  The expensive machine executions are shared:
+one recorded run per workload (at the paper's adopted 4x IBS rate)
+feeds Figs. 2-6; Table IV and the overhead study run their own
+per-rate configurations.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core import TMPConfig
+from repro.memsim import MachineConfig
+from repro.tiering import record_run
+from repro.workloads import WORKLOAD_NAMES, make_workload
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Epochs per recorded run (the scored horizon of every figure).
+BENCH_EPOCHS = 8
+#: Scaled IBS periods (see repro.analysis.tables.RATE_PERIODS).
+PERIOD_DEFAULT, PERIOD_4X, PERIOD_8X = 64, 16, 8
+
+
+def save_artifact(name: str, text: str) -> Path:
+    """Write a bench's printable output under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(text + "\n")
+    return path
+
+
+@pytest.fixture(scope="session")
+def recorded_suite():
+    """One recorded run per Table III workload at the 4x trace rate."""
+    suite = {}
+    for name in WORKLOAD_NAMES:
+        suite[name] = record_run(
+            make_workload(name),
+            machine_config=MachineConfig.scaled(ibs_period=PERIOD_4X),
+            tmp_config=TMPConfig(),
+            epochs=BENCH_EPOCHS,
+            seed=0,
+        )
+    return suite

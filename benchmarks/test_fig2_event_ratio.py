@@ -1,0 +1,47 @@
+"""Fig. 2 — ratio of PTW (A-bit-setting) events to cache-miss events.
+
+The paper uses this ratio to justify TMP's unweighted rank sum: the
+two event populations arrive at the same order of magnitude, so adding
+A-bit and trace samples risks drowning neither source.  We reproduce
+the per-workload ratio of page-walk events (dTLB misses, each of which
+can set an A bit) to data-cache miss events (LLC misses, the population
+trace-based methods sample).
+"""
+
+from __future__ import annotations
+
+from conftest import save_artifact
+
+from repro.analysis import format_table
+from repro.workloads import WORKLOAD_NAMES
+
+
+def _ratios(recorded_suite):
+    rows = []
+    for name in WORKLOAD_NAMES:
+        totals = recorded_suite[name].event_totals
+        ptw = totals["ptw_walks"]
+        llc = totals["llc_miss"]
+        rows.append([name, ptw, llc, ptw / llc if llc else float("inf")])
+    return rows
+
+
+def test_fig2_event_ratio(recorded_suite, benchmark):
+    rows = benchmark.pedantic(
+        _ratios, args=(recorded_suite,), rounds=1, iterations=1
+    )
+    text = format_table(
+        ["workload", "ptw_events", "cache_miss_events", "ratio"],
+        rows,
+        title="Fig. 2 — PTW events vs cache-miss events",
+    )
+    print("\n" + text)
+    save_artifact("fig2_event_ratio.txt", text)
+
+    # The paper's point: same order of magnitude for every workload, so
+    # the unweighted A-bit + trace rank sum under-weighs neither source.
+    for name, ptw, llc, ratio in rows:
+        assert 0.01 <= ratio <= 100, f"{name}: ratio {ratio} out of range"
+    # And for most workloads the two populations are within one decade.
+    within_decade = sum(1 for *_, r in rows if 0.1 <= r <= 10)
+    assert within_decade >= len(rows) - 2

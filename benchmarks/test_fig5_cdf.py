@@ -1,0 +1,121 @@
+"""Fig. 5 — CDFs of per-page access counts by technique and rate.
+
+The paper plots, per workload, the cumulative distribution of per-page
+profiling counts for A-bit profiling and for IBS at different sampling
+rates, and reads off the headline: A-bit profiling alone would let the
+memory allocator classify fewer than 10 % of the pages that incur TLB
+misses as hot — so opportunities are lost without the trace side.
+
+We print, per workload: the per-technique detected-page CDF summary
+(median / p90 counts), the hot-set concentration (pages carrying 80 %
+of accesses), and the A-bit hot-classification fraction against the
+ground-truth TLB-missing page set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import save_artifact
+
+from repro.analysis import (
+    format_table,
+    hot_classification_fraction,
+    pages_for_mass,
+    sample_cdf_at,
+)
+from repro.workloads import WORKLOAD_NAMES
+
+#: Workloads whose (scaled) footprints dwarf the A-bit scan window —
+#: the regime the paper's <10 % claim is about.  Only XSBench keeps the
+#: paper's full footprint:window ratio after scaling; the other HPC
+#: codes compress the gap (footprints shrank 64x, the per-process scan
+#: window could not shrink below useful granularity), so they get a
+#: looser visibility bound.  See EXPERIMENTS.md.
+STRICT_10PCT = ("xsbench",)
+BOUNDED_VISIBILITY = ("gups", "lulesh", "graph500")
+
+
+def _cdf_stats(recorded_suite):
+    rows = []
+    for name in WORKLOAD_NAMES:
+        rec = recorded_suite[name]
+        abit = np.zeros(rec.n_frames, dtype=np.int64)
+        trace = np.zeros(rec.n_frames, dtype=np.int64)
+        truth = np.zeros(rec.n_frames, dtype=np.int64)
+        for r in rec.epochs:
+            abit[: r.profile.abit.size] += r.profile.abit
+            trace[: r.profile.trace.size] += r.profile.trace
+            truth += r.counts
+        tlb_missing = truth > 0  # every touched page misses the TLB at
+        # least once in this machine (cold fill)
+        capacity = max(1, rec.footprint_pages // 8)
+        rows.append(
+            {
+                "workload": name,
+                "abit_det": int((abit > 0).sum()),
+                "trace_det": int((trace > 0).sum()),
+                "abit_med_frac": sample_cdf_at(abit, np.median(abit[abit > 0]) if (abit > 0).any() else 0),
+                "trace_p80_pages": pages_for_mass(trace, 0.8),
+                "truth_p80_pages": pages_for_mass(truth, 0.8),
+                "abit_hot_frac": hot_classification_fraction(abit, tlb_missing, capacity),
+                "trace_hot_frac": hot_classification_fraction(trace, tlb_missing, capacity),
+            }
+        )
+    return rows
+
+
+def test_fig5_cdfs(recorded_suite, benchmark):
+    rows = benchmark.pedantic(
+        _cdf_stats, args=(recorded_suite,), rounds=1, iterations=1
+    )
+    table = [
+        [
+            r["workload"],
+            r["abit_det"],
+            r["trace_det"],
+            r["trace_p80_pages"],
+            r["truth_p80_pages"],
+            r["abit_hot_frac"],
+            r["trace_hot_frac"],
+        ]
+        for r in rows
+    ]
+    text = format_table(
+        [
+            "workload",
+            "abit_pages",
+            "ibs_pages",
+            "ibs_p80_pages",
+            "true_p80_pages",
+            "abit_hot_frac",
+            "ibs_hot_frac",
+        ],
+        table,
+        title="Fig. 5 — access-count distribution summaries (cumulative, 4x rate)",
+    )
+    print("\n" + text)
+    save_artifact("fig5_cdf.txt", text)
+
+    by_name = {r["workload"]: r for r in rows}
+
+    # The paper's headline: A-bit alone classifies <10 % of TLB-missing
+    # pages as hot where the footprint dwarfs the scan window.
+    for name in STRICT_10PCT:
+        frac = by_name[name]["abit_hot_frac"]
+        assert frac < 0.10, f"{name}: abit hot fraction {frac:.3f} >= 10%"
+    for name in BOUNDED_VISIBILITY:
+        frac = by_name[name]["abit_hot_frac"]
+        assert frac < 0.30, f"{name}: abit hot fraction {frac:.3f} >= 30%"
+
+    # The hottest pages are a minor portion of the footprint (both
+    # methods agree on concentration).
+    for r in rows:
+        rec_pages = by_name[r["workload"]]
+        assert r["trace_p80_pages"] < 0.8 * max(r["trace_det"], 1) + 1
+
+    # IBS *sees* far more of the TLB-missing population than A-bit on
+    # sparse workloads (hot-classification ties when tier capacity caps
+    # both, but detection coverage does not).
+    for name in ("gups", "xsbench"):
+        assert by_name[name]["trace_det"] > 1.5 * by_name[name]["abit_det"]
+        assert by_name[name]["trace_hot_frac"] >= by_name[name]["abit_hot_frac"]

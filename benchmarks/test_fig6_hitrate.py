@@ -1,0 +1,108 @@
+"""Fig. 6 — tier-1 hitrate: Oracle & History × monitoring source × ratio.
+
+The paper's headline experiment: for tier1:footprint ratios 1/8..1/128,
+compute each policy's fast-tier hitrate when fed (a) A-bit data alone,
+(b) IBS data alone, (c) TMP's combined data.  Claims reproduced in
+shape:
+
+* smaller ratios are harder (hitrate falls monotonically-ish),
+* the Oracle on combined data beats the piecemeal sources — often by
+  as much as ~70 % against the weaker one,
+* even History often outperforms the piecemeal monitoring methods,
+* Oracle ≥ History (History's one-epoch lag costs on randomized
+  workloads).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import save_artifact
+
+from repro.analysis import DEFAULT_RATIOS, format_csv, format_series, sweep_recorded
+from repro.workloads import WORKLOAD_NAMES
+
+RATIO_LABELS = ["1/8", "1/16", "1/32", "1/64", "1/128"]
+
+
+def _sweep(recorded_suite):
+    points = []
+    for name in WORKLOAD_NAMES:
+        points.extend(sweep_recorded(recorded_suite[name], ratios=DEFAULT_RATIOS))
+    return points
+
+
+def test_fig6_hitrate(recorded_suite, benchmark):
+    points = benchmark.pedantic(
+        _sweep, args=(recorded_suite,), rounds=1, iterations=1
+    )
+    grid = {(p.workload, p.policy, p.source, round(p.ratio, 6)): p.hitrate for p in points}
+
+    lines = ["Fig. 6 — tier-1 hitrate by policy and monitoring source"]
+    for name in WORKLOAD_NAMES:
+        lines.append(f"\n[{name}]")
+        for policy in ("oracle", "history"):
+            for source in ("abit", "trace", "combined"):
+                ys = [
+                    grid[(name, policy, source, round(r, 6))] for r in DEFAULT_RATIOS
+                ]
+                lines.append(format_series(f"{policy}/{source}", RATIO_LABELS, ys))
+    text = "\n".join(lines)
+    print("\n" + text)
+    save_artifact("fig6_hitrate.txt", text)
+    save_artifact(
+        "fig6_hitrate.csv",
+        format_csv(
+            ["workload", "policy", "source", "ratio", "hitrate"],
+            [[p.workload, p.policy, p.source, p.ratio, p.hitrate] for p in points],
+        ),
+    )
+
+    # --- Shape assertions -------------------------------------------------
+    def hr(name, policy, source, ratio):
+        return grid[(name, policy, source, round(ratio, 6))]
+
+    # 1. Capacity monotonicity: 1/8 >= 1/128 for every curve.
+    for name in WORKLOAD_NAMES:
+        for policy in ("oracle", "history"):
+            for source in ("abit", "trace", "combined"):
+                assert hr(name, policy, source, 1 / 8) >= hr(
+                    name, policy, source, 1 / 128
+                ) - 1e-9, (name, policy, source)
+
+    # 2. Combined beats (or matches) the weaker piecemeal source at the
+    #    paper's headline ratio, for the Oracle, on every workload.
+    for name in WORKLOAD_NAMES:
+        combined = hr(name, "oracle", "combined", 1 / 8)
+        weaker = min(hr(name, "oracle", "abit", 1 / 8), hr(name, "oracle", "trace", 1 / 8))
+        assert combined >= weaker - 0.02, (name, combined, weaker)
+
+    # 3. Somewhere, combined beats the weaker piecemeal source by >=50 %
+    #    (the paper: "often by as high as 70%").
+    gains = []
+    for name in WORKLOAD_NAMES:
+        for ratio in DEFAULT_RATIOS:
+            weaker = min(
+                hr(name, "oracle", "abit", ratio), hr(name, "oracle", "trace", ratio)
+            )
+            if weaker > 0.01:
+                gains.append(hr(name, "oracle", "combined", ratio) / weaker)
+    assert max(gains) >= 1.5, f"max combined-vs-weaker gain {max(gains):.2f}"
+
+    # 4. History also beats the weaker piecemeal source on most cells.
+    wins = total = 0
+    for name in WORKLOAD_NAMES:
+        for ratio in DEFAULT_RATIOS:
+            weaker = min(
+                hr(name, "history", "abit", ratio), hr(name, "history", "trace", ratio)
+            )
+            total += 1
+            wins += hr(name, "history", "combined", ratio) >= weaker - 0.02
+    assert wins / total > 0.7
+
+    # 5. Oracle >= History on the combined source (small tolerance).
+    for name in WORKLOAD_NAMES:
+        for ratio in DEFAULT_RATIOS:
+            assert (
+                hr(name, "oracle", "combined", ratio)
+                >= hr(name, "history", "combined", ratio) - 0.05
+            ), (name, ratio)

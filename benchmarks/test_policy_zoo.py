@@ -1,0 +1,100 @@
+"""Extension bench — the full policy zoo head-to-head.
+
+Beyond the paper's Oracle/History/FCFA triangle, the library ships the
+ground-truth bound, an AutoNUMA-style fault sampler, a write-aware
+(CLOCK-DWF-inspired) variant, anti-thrash History, and a random floor.
+This bench scores all of them on three representative workloads from
+one recording each, checking the sanity orderings any placement stack
+must satisfy:
+
+    true-oracle ≥ oracle ≥ history ≥ random
+    every profiling-driven policy ≥ the random floor
+"""
+
+from __future__ import annotations
+
+from conftest import save_artifact
+
+from repro.analysis import format_table
+from repro.tiering import (
+    AutoNUMAPolicy,
+    ThermostatPolicy,
+    FCFAPolicy,
+    HistoryPolicy,
+    OraclePolicy,
+    RandomPolicy,
+    TrueOraclePolicy,
+    WriteAwarePolicy,
+    evaluate_recorded,
+)
+
+WORKLOADS = ("data-caching", "graph-analytics", "web-serving")
+RATIO = 1 / 16
+
+
+def _zoo():
+    return [
+        ("fcfa", lambda: FCFAPolicy()),
+        ("random", lambda: RandomPolicy(seed=1)),
+        ("autonuma", lambda: AutoNUMAPolicy(window_pages=4096)),
+        ("thermostat", lambda: ThermostatPolicy()),
+        ("history", lambda: HistoryPolicy()),
+        ("history+at", lambda: HistoryPolicy(smoothing=0.5, resident_bonus=0.3, min_rank=2.0)),
+        ("write-aware", lambda: WriteAwarePolicy(write_boost=2.0)),
+        ("oracle", lambda: OraclePolicy()),
+        ("true-oracle", lambda: TrueOraclePolicy()),
+    ]
+
+
+def _evaluate(recorded_suite):
+    grid = {}
+    for wname in WORKLOADS:
+        rec = recorded_suite[wname]
+        for label, factory in _zoo():
+            res = evaluate_recorded(
+                rec, factory(), tier1_ratio=RATIO, rank_source="combined"
+            )
+            grid[(wname, label)] = (res.mean_hitrate, res.total_migrations)
+    return grid
+
+
+def test_policy_zoo(recorded_suite, benchmark):
+    grid = benchmark.pedantic(
+        _evaluate, args=(recorded_suite,), rounds=1, iterations=1
+    )
+    rows = []
+    for wname in WORKLOADS:
+        for label, _ in _zoo():
+            hr, migr = grid[(wname, label)]
+            rows.append([wname, label, hr, migr])
+    text = format_table(
+        ["workload", "policy", "hitrate", "migrations"],
+        rows,
+        title=f"Policy zoo @ tier1 = 1/{int(1/RATIO)} of footprint (combined rank)",
+    )
+    print("\n" + text)
+    save_artifact("policy_zoo.txt", text)
+
+    for wname in WORKLOADS:
+        hr = {label: grid[(wname, label)][0] for label, _ in _zoo()}
+        # The information hierarchy.
+        assert hr["true-oracle"] >= hr["oracle"] - 0.01, wname
+        assert hr["oracle"] >= hr["history"] - 0.02, wname
+        # Profiling-driven policies clear the random floor.
+        for label in (
+            "history",
+            "history+at",
+            "oracle",
+            "write-aware",
+            "thermostat",
+        ):
+            assert hr[label] > hr["random"], (wname, label)
+        # Write-aware is a History variant: stays in its neighbourhood.
+        assert abs(hr["write-aware"] - hr["history"]) < 0.15, wname
+        # Anti-thrash does not destroy hitrate while cutting migrations.
+        assert hr["history+at"] > 0.7 * hr["history"], wname
+        migr_at = grid[(wname, "history+at")][1]
+        migr_plain = grid[(wname, "history")][1]
+        assert migr_at < migr_plain, wname
+        # FCFA and random never migrate / churn respectively.
+        assert grid[(wname, "fcfa")][1] == 0

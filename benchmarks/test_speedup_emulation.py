@@ -1,0 +1,90 @@
+"""§VI-C — end-to-end speedup under the slow-memory emulation.
+
+The paper's final experiment: run each workload under the
+BadgerTrap-style emulation testbed (50 µs/page migration, 10 µs per
+trapped slow access, +13 µs when the trapped page is hot; small fast
+tier in front of a large slow tier) and compare TMP-driven placement
+against the NUMA-like first-come-first-allocate baseline.  Paper
+result: average speedup 1.04x, best case 1.13x.
+
+TMP's production configuration here is the History policy on the
+combined rank with the anti-thrash knobs engaged (EMA smoothing,
+resident hysteresis, promotion threshold, migration budget) — plain
+Table II History chases sampling noise into migration costs; see the
+ablation bench for the decomposition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import save_artifact
+
+from repro.analysis import format_table
+from repro.memsim import MachineConfig
+from repro.tiering import FCFAPolicy, HistoryPolicy, TieredSimulator
+from repro.workloads import WORKLOAD_NAMES, make_workload
+
+EPOCHS = 8
+TIER1_RATIO = 1 / 8  # 4 GB fast : ~32 GB hot footprint, scaled
+
+
+def _tmp_policy():
+    return HistoryPolicy(smoothing=0.5, resident_bonus=0.3, min_rank=2.0)
+
+
+def _run(workload_name: str, policy, budget: bool):
+    sim = TieredSimulator(
+        make_workload(workload_name),
+        policy,
+        tier1_ratio=TIER1_RATIO,
+        rank_source="combined",
+        machine_config=MachineConfig.scaled(ibs_period=16),
+        seed=0,
+    )
+    if budget:
+        sim.mover.max_moves_per_epoch = sim.tier1_capacity // 2
+    return sim.run(EPOCHS)
+
+
+def _speedups():
+    rows = []
+    for name in WORKLOAD_NAMES:
+        tmp = _run(name, _tmp_policy(), budget=True)
+        fcfa = _run(name, FCFAPolicy(), budget=False)
+        rows.append(
+            [
+                name,
+                tmp.mean_hitrate,
+                fcfa.mean_hitrate,
+                tmp.total_runtime_s,
+                fcfa.total_runtime_s,
+                tmp.speedup_over(fcfa),
+            ]
+        )
+    return rows
+
+
+def test_speedup_emulation(benchmark):
+    rows = benchmark.pedantic(_speedups, rounds=1, iterations=1)
+    speedups = [r[-1] for r in rows]
+    text = format_table(
+        ["workload", "tmp_hitrate", "fcfa_hitrate", "tmp_s", "fcfa_s", "speedup"],
+        rows,
+        title="§VI-C — TMP placement vs first-come-first-allocate",
+    )
+    text += (
+        f"\n\naverage speedup: {np.mean(speedups):.3f}x (paper: 1.04x)"
+        f"\nbest speedup:    {max(speedups):.3f}x (paper: 1.13x)"
+    )
+    print("\n" + text)
+    save_artifact("speedup_emulation.txt", text)
+
+    # Shape: TMP wins on average, the best case is a clear win, and no
+    # workload collapses (randomized GUPS is allowed a small loss —
+    # the paper's own Monte Carlo caveat).
+    assert np.mean(speedups) > 1.0
+    assert max(speedups) >= 1.08
+    assert min(speedups) > 0.90
+    # TMP's hitrate advantage is what pays for the migrations.
+    better_hitrate = sum(1 for r in rows if r[1] >= r[2] - 0.01)
+    assert better_hitrate >= 6

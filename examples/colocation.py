@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Profiling a consolidated server: two tenants, one memory system.
+
+The paper motivates TMP with consolidated cloud servers (§I): many
+applications share the machine, so the profiler must attribute hotness
+per process and spend its overhead budget only where it matters.  This
+example colocates the memcached service (hot, skewed) with GUPS
+(uniform random, memory-hostile) on one simulated machine, lets TMP
+profile the mix, and then runs tiered placement over the *combined*
+footprint — showing the fast tier ends up holding the pages of
+whichever tenant actually earns it.
+
+Run:  python examples/colocation.py
+"""
+
+import numpy as np
+
+from repro import Machine, MachineConfig, TMPConfig, TMPDaemon, TMProfiler
+from repro.analysis import format_table
+from repro.tiering import HistoryPolicy, TieredSimulator
+from repro.workloads import MultiWorkload, make_workload
+
+EPOCHS = 5
+
+
+def main() -> None:
+    # --- profile the mix -------------------------------------------------
+    machine = Machine(MachineConfig.scaled(ibs_period=16))
+    mix = MultiWorkload([make_workload("data-caching"), make_workload("gups")])
+    mix.attach(machine)
+
+    profiler = TMProfiler(machine, TMPConfig())
+    daemon = TMPDaemon(profiler)
+    for name, pids in mix.tenant_pids().items():
+        daemon.add_program(name, pids)
+
+    rng = np.random.default_rng(0)
+    for epoch in range(EPOCHS):
+        batch = mix.epoch(epoch, rng)
+        result = machine.run_batch(batch)
+        profiler.observe_batch(batch, result)
+        report = daemon.poll_epoch()
+    print(
+        f"profiled {mix.name}: {mix.n_processes} processes, "
+        f"{machine.n_frames} frames"
+    )
+    print(f"tracked after resource filter: {len(report.tracked_pids)} PIDs "
+          f"(memcached clients fall below the 5%/10% thresholds)\n")
+
+    # Per-tenant hotness attribution from the final epoch's rank.
+    rank = report.rank()
+    rows = []
+    for tenant in mix.tenants:
+        mass = 0.0
+        pages = 0
+        for proc in tenant.processes:
+            for vma in proc.vmas.values():
+                lo, hi = vma.pfn_base, vma.pfn_base + vma.npages
+                mass += float(rank[lo:hi].sum())
+                pages += vma.npages
+        rows.append([tenant.name, pages, mass, mass / max(pages, 1)])
+    print(
+        format_table(
+            ["tenant", "pages", "rank_mass", "rank_per_page"],
+            rows,
+            title="hotness attribution by tenant (last epoch)",
+        )
+    )
+
+    # --- place the mix over two tiers -------------------------------------
+    sim = TieredSimulator(
+        MultiWorkload([make_workload("data-caching"), make_workload("gups")]),
+        HistoryPolicy(smoothing=0.5, resident_bonus=0.3, min_rank=2.0),
+        tier1_ratio=1 / 8,
+        rank_source="combined",
+        machine_config=MachineConfig.scaled(ibs_period=16),
+        seed=0,
+    )
+    res = sim.run(EPOCHS)
+
+    # Who owns the fast tier at the end?
+    tier1 = set(sim.tiers.tier1_pages().tolist())
+    rows = []
+    for tenant in sim.workload.tenants:
+        owned = 0
+        for proc in tenant.processes:
+            for vma in proc.vmas.values():
+                owned += sum(
+                    1 for p in range(vma.pfn_base, vma.pfn_base + vma.npages)
+                    if p in tier1
+                )
+        rows.append([tenant.name, owned, owned / max(len(tier1), 1)])
+    print()
+    print(
+        format_table(
+            ["tenant", "tier1_pages", "tier1_share"],
+            rows,
+            title=f"fast-tier ownership after placement "
+            f"(hitrate {res.mean_hitrate:.3f})",
+        )
+    )
+    print(
+        "\nReading: fast memory follows measured memory hotness across"
+        "\ntenant boundaries — GUPS's relentlessly missing table earns"
+        "\nper-page priority while memcached's cache-friendly tail does"
+        "\nnot — with no static partitioning required."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Compare the monitoring methods of §II-B on one workload.
+
+Runs the memcached-style data-caching service four times, each under a
+different visibility mechanism — A-bit scanning, IBS op sampling, PEBS
+event sampling, and BadgerTrap fault interception — and prints the
+Table I trade-offs as measured numbers: pages detected, how much of the
+true memory-hot set each method ranked correctly, and the modelled
+collection overhead.
+
+Run:  python examples/compare_profilers.py
+"""
+
+import numpy as np
+
+from repro import Machine, MachineConfig, TMPConfig, TMProfiler
+from repro.analysis import format_table, hot_classification_fraction
+from repro.workloads import make_workload
+
+EPOCHS = 6
+
+
+def run_config(label: str, tmp_config: TMPConfig, use_badgertrap: bool = False):
+    machine = Machine(MachineConfig.scaled(ibs_period=16))
+    workload = make_workload("data-caching")
+    workload.attach(machine)
+    profiler = TMProfiler(machine, tmp_config)
+    profiler.register_workload(workload)
+
+    if use_badgertrap:
+        # Instrument every server heap page: each TLB miss now faults.
+        for pid in workload.pids:
+            pt = machine.page_tables[pid]
+            profiler_slots = np.arange(pt.n_pages, dtype=np.int64)
+            machine.badgertrap.instrument(pt, profiler_slots, machine.tlb)
+
+    rng = np.random.default_rng(0)
+    truth = np.zeros(0, dtype=np.int64)
+    for epoch in range(EPOCHS):
+        batch = workload.epoch(epoch, rng)
+        result = machine.run_batch(batch)
+        profiler.observe_batch(batch, result)
+        profiler.end_epoch()
+        mem = result.page_mem_access_counts(machine.n_frames)
+        if truth.size < mem.size:
+            truth = np.pad(truth, (0, mem.size - truth.size))
+        truth += mem
+
+    store = profiler.store
+    if use_badgertrap:
+        counts = np.zeros(machine.n_frames, dtype=np.int64)
+        fc = machine.badgertrap.fault_counts
+        counts[: fc.size] = fc
+        detected = int((counts > 0).sum())
+        overhead = machine.badgertrap.stats.handler_time_s / machine.time_s
+    elif tmp_config.abit_enabled and not tmp_config.trace_enabled:
+        counts = store.abit_total.astype(np.int64)
+        detected = store.detected_pages("abit")
+        overhead = profiler.overhead_fraction()
+    elif tmp_config.abit_enabled and tmp_config.trace_enabled:
+        counts = store.abit_total + store.trace_total
+        detected = store.detected_pages("either")
+        overhead = profiler.overhead_fraction()
+    else:
+        counts = store.trace_total.astype(np.int64)
+        detected = store.detected_pages("trace")
+        overhead = profiler.overhead_fraction()
+
+    capacity = workload.footprint_pages // 8
+    accuracy = hot_classification_fraction(counts, truth > 0, capacity)
+    return [label, detected, accuracy, overhead]
+
+
+def main() -> None:
+    rows = [
+        run_config("A-bit scan (1 Hz)", TMPConfig(trace_enabled=False)),
+        run_config("IBS op sampling (4x)", TMPConfig(abit_enabled=False)),
+        run_config(
+            "PEBS LLC-miss sampling",
+            TMPConfig(abit_enabled=False, trace_source="pebs"),
+        ),
+        run_config(
+            "BadgerTrap faults",
+            TMPConfig(abit_enabled=False, trace_enabled=False),
+            use_badgertrap=True,
+        ),
+        run_config("TMP (A-bit + IBS)", TMPConfig()),
+    ]
+    print(
+        format_table(
+            ["method", "pages_detected", "hot_coverage", "overhead_frac"],
+            rows,
+            title="Monitoring methods on data-caching (Table I, measured)",
+            float_fmt="{:.4f}",
+        )
+    )
+    print(
+        "\nReading: trace methods see exactly where memory misses go;"
+        "\nthe A-bit walk sees every touched page in its scan window but"
+        "\ncannot grade hotness; BadgerTrap counts TLB misses at fault"
+        "\ncost; TMP's hybrid gets the union at near-trace overhead."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Visualize a workload's memory-access structure (Figs. 3 and 4).
+
+Records one run of a chosen workload and prints two ASCII heatmaps —
+time (epochs) on the x-axis, physical address space on the y-axis —
+one from IBS trace samples and one from A-bit scan detections, the
+paper's two complementary views of the same execution.
+
+Run:  python examples/hotness_heatmap.py [workload]
+      (default: lulesh; see repro.workloads.WORKLOAD_NAMES)
+"""
+
+import sys
+
+from repro import MachineConfig, record_run
+from repro.analysis import heatmap_from_profiles, render_heatmap
+from repro.analysis.heatmap import heatmap_from_epoch_samples
+from repro.workloads import WORKLOAD_NAMES, make_workload
+
+EPOCHS = 8
+N_ADDR = 28
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "lulesh"
+    if name not in WORKLOAD_NAMES:
+        raise SystemExit(f"unknown workload {name!r}; pick one of {WORKLOAD_NAMES}")
+
+    print(f"recording {name} ({EPOCHS} epochs)...")
+    rec = record_run(
+        make_workload(name),
+        machine_config=MachineConfig.scaled(ibs_period=16),
+        epochs=EPOCHS,
+        seed=0,
+    )
+
+    ibs = heatmap_from_epoch_samples(
+        [r.samples for r in rec.epochs], n_addr_bins=N_ADDR, n_frames=rec.n_frames
+    )
+    print()
+    print(render_heatmap(ibs, title=f"[{name}] IBS 4x samples (Fig. 3 view)"))
+
+    abit = heatmap_from_profiles(
+        [r.profile for r in rec.epochs],
+        field="abit",
+        n_addr_bins=N_ADDR,
+        n_frames=rec.n_frames,
+    )
+    print()
+    print(render_heatmap(abit, title=f"[{name}] A-bit detections (Fig. 4 view)"))
+
+    print(
+        "\nReading: IBS paints wherever memory misses go — sparse or"
+        "\nhuge regions included — while the A-bit view is exact within"
+        "\nits bounded scan window and blind beyond it."
+    )
+
+
+if __name__ == "__main__":
+    main()

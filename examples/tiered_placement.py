@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Tiered-memory placement end to end (§IV + §VI-C).
+
+Runs the graph-analytics workload on a two-tier memory (fast tier sized
+to 1/16 of the footprint) under four placement policies — the paper's
+Oracle and History, the first-come-first-allocate baseline, and the
+ground-truth upper bound — and prints per-policy tier-1 hitrates,
+migration volume, and emulated runtime with the paper's 50/10/13 µs
+latency calibration.
+
+Run:  python examples/tiered_placement.py
+"""
+
+from repro import MachineConfig
+from repro.analysis import format_table
+from repro.tiering import (
+    FCFAPolicy,
+    HistoryPolicy,
+    OraclePolicy,
+    TieredSimulator,
+    TrueOraclePolicy,
+)
+from repro.workloads import make_workload
+
+EPOCHS = 8
+RATIO = 1 / 16
+
+
+def run(policy, rank_source="combined"):
+    sim = TieredSimulator(
+        make_workload("graph-analytics"),
+        policy,
+        tier1_ratio=RATIO,
+        rank_source=rank_source,
+        machine_config=MachineConfig.scaled(ibs_period=16),
+        seed=0,
+    )
+    return sim.run(EPOCHS)
+
+
+def main() -> None:
+    rows = []
+    for label, policy, source in [
+        ("fcfa (baseline)", FCFAPolicy(), "combined"),
+        ("history / A-bit only", HistoryPolicy(), "abit"),
+        ("history / IBS only", HistoryPolicy(), "trace"),
+        ("history / TMP combined", HistoryPolicy(), "combined"),
+        ("history + anti-thrash", HistoryPolicy(smoothing=0.5, resident_bonus=0.3, min_rank=2.0), "combined"),
+        ("oracle / TMP combined", OraclePolicy(), "combined"),
+        ("true oracle (bound)", TrueOraclePolicy(), "combined"),
+    ]:
+        res = run(policy, source)
+        rows.append(
+            [
+                label,
+                res.mean_hitrate,
+                res.total_migrations,
+                res.total_runtime_s,
+            ]
+        )
+    baseline_runtime = rows[0][3]
+    for row in rows:
+        row.append(baseline_runtime / row[3])
+
+    print(
+        format_table(
+            ["policy / source", "hitrate", "migrations", "runtime_s", "speedup"],
+            rows,
+            title=f"graph-analytics, tier1 = 1/16 of footprint, {EPOCHS} epochs",
+        )
+    )
+    print(
+        "\nReading: better monitoring data lifts both policies (the"
+        "\nFig. 6 effect); anti-thrash knobs convert the hitrate gain"
+        "\ninto actual speedup by not spending it on migrations."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""repro — a reproduction of *Dancing in the Dark: Profiling for
+Tiered Memory* (Choi, Blagodurov, Tseng; IPDPS 2021).
+
+The package builds the paper's full stack on a simulated memory-system
+substrate:
+
+``repro.memsim``
+    The hardware: page tables with A/D bits, per-CPU TLBs + hardware
+    walker, a cache hierarchy, a multiplexing PMU, IBS/PEBS trace
+    samplers, Intel PML, and BadgerTrap.
+``repro.workloads``
+    Synthetic access-stream models of the eight Table III workloads.
+``repro.core``
+    TMP itself — the hybrid tiered-memory profiler (A-bit driver,
+    trace driver, HWPC gating, process filtering, hotness fusion,
+    daemon and numa_maps interface).
+``repro.tiering``
+    Tiered memory: placement, epoch-batched migration, Oracle/History/
+    FCFA policies (plus extensions), the paper's emulation latency
+    model, and the end-to-end simulator.
+``repro.analysis``
+    The evaluation artifacts as data: Table IV, Figs. 2-6, overheads.
+
+Quickstart::
+
+    from repro import Machine, MachineConfig, TMProfiler, TMPConfig
+    from repro.workloads import make_workload
+
+    machine = Machine(MachineConfig.scaled())
+    workload = make_workload("gups")
+    workload.attach(machine)
+    profiler = TMProfiler(machine, TMPConfig())
+    profiler.register_workload(workload)
+
+    import numpy as np
+    rng = np.random.default_rng(0)
+    for epoch in range(5):
+        batch = workload.epoch(epoch, rng)
+        result = machine.run_batch(batch)
+        profiler.observe_batch(batch, result)
+        report = profiler.end_epoch()
+        print(epoch, report.rank().max())
+"""
+
+from .core import (
+    RankSource,
+    TMPConfig,
+    TMPDaemon,
+    TMPEpochReport,
+    TMProfiler,
+)
+from .memsim import AccessBatch, DataSource, Machine, MachineConfig
+from .tiering import (
+    FCFAPolicy,
+    HistoryPolicy,
+    LatencyModel,
+    OraclePolicy,
+    SimulationResult,
+    TieredSimulator,
+    TrueOraclePolicy,
+    evaluate_recorded,
+    record_run,
+)
+from .workloads import WORKLOAD_NAMES, make_workload, paper_suite
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "AccessBatch",
+    "DataSource",
+    "FCFAPolicy",
+    "HistoryPolicy",
+    "LatencyModel",
+    "Machine",
+    "MachineConfig",
+    "OraclePolicy",
+    "RankSource",
+    "SimulationResult",
+    "TMPConfig",
+    "TMPDaemon",
+    "TMPEpochReport",
+    "TMProfiler",
+    "TieredSimulator",
+    "TrueOraclePolicy",
+    "WORKLOAD_NAMES",
+    "__version__",
+    "evaluate_recorded",
+    "make_workload",
+    "paper_suite",
+    "record_run",
+]

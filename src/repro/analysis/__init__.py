@@ -1,0 +1,52 @@
+"""Result post-processing: the paper's figures and tables as data."""
+
+from .accuracy import RankAccuracy, rank_accuracy, spearman
+from .cdf import (
+    access_cdf,
+    hot_classification_fraction,
+    pages_for_mass,
+    sample_cdf_at,
+)
+from .heatmap import heatmap_from_profiles, heatmap_from_samples, render_heatmap
+from .hitrate import (
+    DEFAULT_RATIOS,
+    HitratePoint,
+    fig6_sweep,
+    sweep_recorded,
+)
+from .overhead import OverheadReport, measure_overhead
+from .report import format_csv, format_ratio, format_series, format_table
+from .tables import (
+    DetectionRow,
+    RATE_PERIODS,
+    detected_pages_for,
+    rate_improvements,
+    table4_rows,
+)
+
+__all__ = [
+    "DEFAULT_RATIOS",
+    "DetectionRow",
+    "HitratePoint",
+    "OverheadReport",
+    "RankAccuracy",
+    "RATE_PERIODS",
+    "access_cdf",
+    "detected_pages_for",
+    "fig6_sweep",
+    "format_csv",
+    "format_ratio",
+    "format_series",
+    "format_table",
+    "heatmap_from_profiles",
+    "heatmap_from_samples",
+    "hot_classification_fraction",
+    "measure_overhead",
+    "pages_for_mass",
+    "rank_accuracy",
+    "rate_improvements",
+    "render_heatmap",
+    "sample_cdf_at",
+    "spearman",
+    "sweep_recorded",
+]

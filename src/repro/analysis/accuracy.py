@@ -1,0 +1,109 @@
+"""Profiler accuracy metrics: how well a ranking matches the truth.
+
+The paper's first contribution claims a "low-overhead, high-accuracy
+profiling mechanism"; overhead has §VI-B, and these metrics give
+accuracy an operational meaning.  A profiling source is scored against
+the machine's ground-truth memory-access counts on three axes:
+
+* **precision@K / recall@K** of the hot-set classification (K = tier-1
+  capacity: exactly the decision placement must get right),
+* **weighted coverage**: the fraction of true memory-access mass the
+  predicted hot set captures — hitrate if the prediction were applied
+  with a same-epoch oracle mover,
+* **rank correlation** (Spearman) over pages either side detected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.hotness import top_k_pages
+
+__all__ = ["RankAccuracy", "rank_accuracy", "spearman"]
+
+
+@dataclass
+class RankAccuracy:
+    """One ranking's accuracy against ground truth at capacity K."""
+
+    k: int
+    precision: float
+    recall: float
+    weighted_coverage: float
+    spearman: float
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+def spearman(a: np.ndarray, b: np.ndarray) -> float:
+    """Spearman rank correlation (average-rank ties), NaN-safe."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.size != b.size:
+        raise ValueError(f"length mismatch: {a.size} vs {b.size}")
+    if a.size < 2:
+        return 0.0
+    ra = _average_ranks(a)
+    rb = _average_ranks(b)
+    sa = ra.std()
+    sb = rb.std()
+    if sa == 0 or sb == 0:
+        return 0.0
+    return float(((ra - ra.mean()) * (rb - rb.mean())).mean() / (sa * sb))
+
+
+def _average_ranks(x: np.ndarray) -> np.ndarray:
+    order = np.argsort(x, kind="stable")
+    ranks = np.empty(x.size, dtype=np.float64)
+    ranks[order] = np.arange(x.size, dtype=np.float64)
+    # Average ranks over ties.
+    sorted_x = x[order]
+    boundaries = np.flatnonzero(np.diff(sorted_x) != 0) + 1
+    groups = np.split(np.arange(x.size), boundaries)
+    for g in groups:
+        if g.size > 1:
+            ranks[order[g]] = ranks[order[g]].mean()
+    return ranks
+
+
+def rank_accuracy(
+    predicted: np.ndarray, truth: np.ndarray, k: int
+) -> RankAccuracy:
+    """Score a predicted per-page ranking against true access counts.
+
+    ``predicted`` and ``truth`` are per-PFN non-negative scores; ``k``
+    is the hot-set size (tier-1 capacity).  The true hot set is the
+    top-``k`` of ``truth``.
+    """
+    predicted = np.asarray(predicted, dtype=np.float64)
+    truth = np.asarray(truth, dtype=np.float64)
+    n = max(predicted.size, truth.size)
+    if predicted.size < n:
+        predicted = np.pad(predicted, (0, n - predicted.size))
+    if truth.size < n:
+        truth = np.pad(truth, (0, n - truth.size))
+
+    true_hot = top_k_pages(truth, k)
+    pred_hot = top_k_pages(predicted, k)
+    true_set = set(true_hot.tolist())
+    inter = sum(1 for p in pred_hot if p in true_set)
+    precision = inter / pred_hot.size if pred_hot.size else 0.0
+    recall = inter / true_hot.size if true_hot.size else 0.0
+
+    total = truth.sum()
+    coverage = float(truth[pred_hot].sum() / total) if total > 0 else 0.0
+
+    detected = (predicted > 0) | (truth > 0)
+    rho = spearman(predicted[detected], truth[detected]) if detected.any() else 0.0
+    return RankAccuracy(
+        k=k,
+        precision=precision,
+        recall=recall,
+        weighted_coverage=coverage,
+        spearman=rho,
+    )

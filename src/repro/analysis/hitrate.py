@@ -1,0 +1,97 @@
+"""Fig. 6 sweep helpers: tier-1 hitrate across policies × sources × ratios.
+
+Uses the record-once / evaluate-offline method (``repro.tiering
+.recorded``): one machine run per workload feeds every (policy,
+monitoring source, tier ratio) evaluation, exactly as the paper
+computed its policy results from recorded hardware profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.config import TMPConfig
+from ..memsim.machine import MachineConfig
+from ..tiering.policies import HistoryPolicy, OraclePolicy
+from ..tiering.recorded import RecordedRun, evaluate_recorded, record_run
+from ..workloads.registry import make_workload
+
+__all__ = ["HitratePoint", "sweep_recorded", "fig6_sweep", "DEFAULT_RATIOS"]
+
+#: The paper's tier-1 : footprint ratios (Fig. 6): 1/8 .. 1/128.
+DEFAULT_RATIOS = (1 / 8, 1 / 16, 1 / 32, 1 / 64, 1 / 128)
+
+#: The monitoring-source axis of Fig. 6.
+SOURCES = ("abit", "trace", "combined")
+
+
+@dataclass
+class HitratePoint:
+    """One Fig. 6 data point."""
+
+    workload: str
+    policy: str
+    source: str
+    ratio: float
+    hitrate: float
+
+
+def _policy(name: str):
+    if name == "oracle":
+        return OraclePolicy()
+    if name == "history":
+        return HistoryPolicy()
+    raise ValueError(f"unknown Fig. 6 policy {name!r}")
+
+
+def sweep_recorded(
+    recorded: RecordedRun,
+    *,
+    policies=("oracle", "history"),
+    sources=SOURCES,
+    ratios=DEFAULT_RATIOS,
+) -> list[HitratePoint]:
+    """Evaluate every (policy, source, ratio) cell on one recording."""
+    points = []
+    for policy_name in policies:
+        for source in sources:
+            for ratio in ratios:
+                res = evaluate_recorded(
+                    recorded,
+                    _policy(policy_name),  # fresh instance: stateful policies
+                    tier1_ratio=ratio,
+                    rank_source=source,
+                )
+                points.append(
+                    HitratePoint(
+                        workload=recorded.workload,
+                        policy=policy_name,
+                        source=source,
+                        ratio=ratio,
+                        hitrate=res.mean_hitrate,
+                    )
+                )
+    return points
+
+
+def fig6_sweep(
+    workload_names,
+    *,
+    epochs: int = 8,
+    seed: int = 0,
+    ratios=DEFAULT_RATIOS,
+    ibs_period: int = 16,  # the paper's adopted 4x rate, scaled
+    workload_kw: dict | None = None,
+) -> list[HitratePoint]:
+    """Record each workload once and sweep the full Fig. 6 grid."""
+    points = []
+    for name in workload_names:
+        recorded = record_run(
+            make_workload(name, **(workload_kw or {})),
+            machine_config=MachineConfig.scaled(ibs_period=ibs_period),
+            tmp_config=TMPConfig(),
+            epochs=epochs,
+            seed=seed,
+        )
+        points.extend(sweep_recorded(recorded, ratios=ratios))
+    return points

@@ -1,0 +1,73 @@
+"""Plain-text rendering of tables and series for the benches.
+
+Every benchmark prints the rows/series its paper artifact reports;
+these helpers keep the formatting consistent and terminal-friendly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["format_table", "format_series", "format_ratio", "format_csv"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    *,
+    title: str = "",
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render rows as an aligned monospace table."""
+    def fmt(cell):
+        if isinstance(cell, float):
+            return float_fmt.format(cell)
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells):
+        return "  ".join(c.rjust(w) if i else c.ljust(w)
+                         for i, (c, w) in enumerate(zip(cells, widths)))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(line(r) for r in str_rows)
+    return "\n".join(out)
+
+
+def format_series(
+    name: str, xs: Sequence, ys: Sequence[float], *, y_fmt: str = "{:.3f}"
+) -> str:
+    """Render one figure series as ``name: x=y`` pairs."""
+    pairs = "  ".join(f"{x}={y_fmt.format(y)}" for x, y in zip(xs, ys))
+    return f"{name:24s} {pairs}"
+
+
+def format_csv(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render rows as CSV (for machine-readable bench artifacts)."""
+    def fmt(cell):
+        if isinstance(cell, float):
+            return repr(cell)
+        text = str(cell)
+        if "," in text or '"' in text:
+            text = '"' + text.replace('"', '""') + '"'
+        return text
+
+    lines = [",".join(headers)]
+    lines.extend(",".join(fmt(c) for c in row) for row in rows)
+    return "\n".join(lines)
+
+
+def format_ratio(value: float, reference: float) -> str:
+    """Render ``value`` as a multiple of ``reference`` (e.g. '1.13x')."""
+    if reference == 0:
+        return "inf"
+    return f"{value / reference:.2f}x"

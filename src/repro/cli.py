@@ -1,0 +1,317 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands mirror the library's main entry points so the paper's
+experiments can be driven without writing code:
+
+``list``
+    Show available workloads and policies.
+``profile WORKLOAD``
+    Run TMP over a workload; print per-epoch detections and the
+    summary statistics / numa_maps.
+``tier WORKLOAD``
+    Run the tiered simulator with a chosen policy/source/ratio.
+``heatmap WORKLOAD``
+    Print the Fig. 3 / Fig. 4 ASCII heatmaps for one workload.
+``sweep WORKLOAD``
+    The Fig. 6 grid (policies × sources × ratios) for one workload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TMP tiered-memory profiling reproduction (IPDPS 2021)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads and policies")
+
+    p = sub.add_parser("profile", help="profile a workload with TMP")
+    _common(p)
+    p.add_argument("--no-abit", action="store_true", help="disable the A-bit driver")
+    p.add_argument("--no-trace", action="store_true", help="disable the trace driver")
+    p.add_argument(
+        "--trace-source", choices=("ibs", "pebs"), default="ibs",
+        help="which hardware sampler feeds the trace driver",
+    )
+    p.add_argument("--gating", action="store_true", help="enable HWPC gating")
+    p.add_argument("--numa-maps", action="store_true", help="print numa_maps at the end")
+
+    p = sub.add_parser("tier", help="run tiered-memory placement")
+    _common(p)
+    p.add_argument("--policy", default="history", help="placement policy name")
+    p.add_argument(
+        "--source", choices=("abit", "trace", "combined"), default="combined"
+    )
+    p.add_argument("--ratio", type=float, default=1 / 16, help="tier1 : footprint")
+    p.add_argument(
+        "--baseline", action="store_true",
+        help="also run the FCFA baseline and report the speedup",
+    )
+
+    p = sub.add_parser("heatmap", help="print Fig. 3/4 heatmaps for a workload")
+    _common(p)
+    p.add_argument("--bins", type=int, default=28, help="address bins (rows)")
+
+    p = sub.add_parser("sweep", help="Fig. 6 grid for one workload")
+    _common(p)
+
+    p = sub.add_parser("record", help="record a run to a .npz file")
+    _common(p)
+    p.add_argument("output", help="destination .npz path")
+    p.add_argument(
+        "--no-samples", action="store_true", help="omit raw trace samples (smaller file)"
+    )
+
+    p = sub.add_parser("evaluate", help="score a policy on a saved recording")
+    p.add_argument("recording", help=".npz file from `repro record`")
+    p.add_argument("--policy", default="history")
+    p.add_argument(
+        "--source", choices=("abit", "trace", "combined"), default="combined"
+    )
+    p.add_argument("--ratio", type=float, default=1 / 16)
+    return parser
+
+
+def _common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("workload", help="workload name (see `repro list`)")
+    p.add_argument("--epochs", type=int, default=8)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--ibs-period", type=int, default=16,
+        help="trace sampling period (scaled; 64=default rate, 16=4x, 8=8x)",
+    )
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "list": _cmd_list,
+        "profile": _cmd_profile,
+        "tier": _cmd_tier,
+        "heatmap": _cmd_heatmap,
+        "sweep": _cmd_sweep,
+        "record": _cmd_record,
+        "evaluate": _cmd_evaluate,
+    }[args.command]
+    return handler(args)
+
+
+def _machine_config(args):
+    from .memsim import MachineConfig
+
+    return MachineConfig.scaled(ibs_period=args.ibs_period)
+
+
+def _workload(args):
+    from .workloads import WORKLOAD_NAMES, make_workload
+
+    if args.workload not in WORKLOAD_NAMES:
+        raise SystemExit(
+            f"unknown workload {args.workload!r}; available: {', '.join(WORKLOAD_NAMES)}"
+        )
+    return make_workload(args.workload)
+
+
+def _cmd_list(args) -> int:
+    from .tiering.policies import POLICIES
+    from .workloads import WORKLOADS, make_workload
+
+    print("workloads (Table III):")
+    for name in WORKLOADS:
+        w = make_workload(name)
+        print(
+            f"  {name:16s} {w.footprint_pages:7d} pages, "
+            f"{w.n_processes:2d} processes, "
+            f"{w.accesses_per_epoch} accesses/epoch"
+        )
+    print("\npolicies:")
+    for name, cls in POLICIES.items():
+        doc = (cls.__doc__ or "").strip().splitlines()[0]
+        print(f"  {name:12s} {doc}")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from .core import TMPConfig, TMPDaemon, TMProfiler
+    from .memsim import Machine
+
+    machine = Machine(_machine_config(args))
+    workload = _workload(args)
+    workload.attach(machine)
+    cfg = TMPConfig(
+        abit_enabled=not args.no_abit,
+        trace_enabled=not args.no_trace,
+        trace_source=args.trace_source,
+        hwpc_gating=args.gating,
+    )
+    profiler = TMProfiler(machine, cfg)
+    daemon = TMPDaemon(profiler)
+    daemon.add_workload(workload)
+
+    rng = np.random.default_rng(args.seed)
+    for epoch in range(args.epochs):
+        batch = workload.epoch(epoch, rng)
+        result = machine.run_batch(batch)
+        profiler.observe_batch(batch, result)
+        report = daemon.poll_epoch()
+        gate = ""
+        if report.gating is not None:
+            gate = f" gate[trace={report.gating.trace_active} abit={report.gating.abit_active}]"
+        print(
+            f"epoch {epoch}: accesses={batch.n} abit={report.abit_pages_found} "
+            f"trace={report.trace_samples} overhead={report.overhead.total_s*1e3:.2f}ms{gate}"
+        )
+
+    print("\nstatistics:")
+    for key, value in daemon.statistics().items():
+        print(f"  {key}: {value}")
+    if args.numa_maps:
+        print("\n" + daemon.numa_maps(workload.pids[:1]))
+    return 0
+
+
+def _cmd_tier(args) -> int:
+    from .tiering import TieredSimulator
+    from .tiering.policies import POLICIES, FCFAPolicy
+
+    if args.policy not in POLICIES:
+        raise SystemExit(
+            f"unknown policy {args.policy!r}; available: {', '.join(POLICIES)}"
+        )
+    sim = TieredSimulator(
+        _workload(args),
+        POLICIES[args.policy](),
+        tier1_ratio=args.ratio,
+        rank_source=args.source,
+        machine_config=_machine_config(args),
+        seed=args.seed,
+    )
+    res = sim.run(args.epochs)
+    print(
+        f"{res.workload} / {res.policy} / {res.rank_source} "
+        f"@ tier1={args.ratio:.4g} ({res.tier1_capacity} pages)"
+    )
+    for e in res.epochs:
+        print(
+            f"  epoch {e.epoch}: hitrate={e.hitrate:.3f} "
+            f"promoted={e.promoted} demoted={e.demoted} runtime={e.runtime_s:.3f}s"
+        )
+    print(f"mean hitrate {res.mean_hitrate:.3f}, runtime {res.total_runtime_s:.2f}s")
+    if args.baseline:
+        base = TieredSimulator(
+            _workload(args),
+            FCFAPolicy(),
+            tier1_ratio=args.ratio,
+            machine_config=_machine_config(args),
+            seed=args.seed,
+        ).run(args.epochs)
+        print(
+            f"fcfa baseline: hitrate {base.mean_hitrate:.3f}, "
+            f"runtime {base.total_runtime_s:.2f}s, "
+            f"speedup {res.speedup_over(base):.3f}x"
+        )
+    return 0
+
+
+def _cmd_heatmap(args) -> int:
+    from .analysis import heatmap_from_profiles, render_heatmap
+    from .analysis.heatmap import heatmap_from_epoch_samples
+    from .tiering import record_run
+
+    rec = record_run(
+        _workload(args),
+        machine_config=_machine_config(args),
+        epochs=args.epochs,
+        seed=args.seed,
+    )
+    ibs = heatmap_from_epoch_samples(
+        [r.samples for r in rec.epochs], n_addr_bins=args.bins, n_frames=rec.n_frames
+    )
+    print(render_heatmap(ibs, title=f"[{rec.workload}] IBS samples (Fig. 3 view)"))
+    print()
+    abit = heatmap_from_profiles(
+        [r.profile for r in rec.epochs],
+        field="abit",
+        n_addr_bins=args.bins,
+        n_frames=rec.n_frames,
+    )
+    print(render_heatmap(abit, title=f"[{rec.workload}] A-bit (Fig. 4 view)"))
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from .analysis import DEFAULT_RATIOS, format_series, sweep_recorded
+    from .tiering import record_run
+
+    rec = record_run(
+        _workload(args),
+        machine_config=_machine_config(args),
+        epochs=args.epochs,
+        seed=args.seed,
+    )
+    points = sweep_recorded(rec)
+    labels = [f"1/{int(round(1/r))}" for r in DEFAULT_RATIOS]
+    print(f"Fig. 6 grid for {rec.workload}:")
+    for policy in ("oracle", "history"):
+        for source in ("abit", "trace", "combined"):
+            ys = [
+                p.hitrate
+                for p in points
+                if p.policy == policy and p.source == source
+            ]
+            print(format_series(f"{policy}/{source}", labels, ys))
+    return 0
+
+
+def _cmd_record(args) -> int:
+    from .tiering import record_run, save_recorded
+
+    rec = record_run(
+        _workload(args),
+        machine_config=_machine_config(args),
+        epochs=args.epochs,
+        seed=args.seed,
+    )
+    path = save_recorded(rec, args.output, include_samples=not args.no_samples)
+    print(
+        f"recorded {rec.workload}: {rec.n_epochs} epochs, "
+        f"{rec.n_frames} frames -> {path}"
+    )
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    from .tiering import evaluate_recorded, load_recorded
+    from .tiering.policies import POLICIES
+
+    if args.policy not in POLICIES:
+        raise SystemExit(
+            f"unknown policy {args.policy!r}; available: {', '.join(POLICIES)}"
+        )
+    rec = load_recorded(args.recording)
+    res = evaluate_recorded(
+        rec,
+        POLICIES[args.policy](),
+        tier1_ratio=args.ratio,
+        rank_source=args.source,
+    )
+    print(
+        f"{res.workload} / {res.policy} / {res.rank_source} "
+        f"@ tier1={args.ratio:.4g}: hitrate={res.mean_hitrate:.3f} "
+        f"migrations={res.total_migrations} runtime={res.total_runtime_s:.2f}s"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,69 @@
+"""A ``/proc/<pid>/numa_maps``-style text interface to TMP statistics.
+
+§III-B.3: TMP extends ``numa_maps`` in the proc pseudo-filesystem so
+user space can read collected per-VMA profiling statistics.  Each
+mapped region renders as one line::
+
+    7f0000001000 default heap anon=4096 dirty=120 accessed=310 \
+        abit=502 trace=117 rank=619.0 hottest=0x7f0000001230
+
+Fields: cumulative A-bit detections and trace samples summed over the
+region's pages, the fused rank mass, and the region's hottest page.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..memsim.machine import Machine
+from ..memsim.pte import PTE_ACCESSED, PTE_DIRTY
+from .page_stats import PageStatsStore
+
+__all__ = ["format_numa_maps", "format_all_numa_maps"]
+
+
+def format_numa_maps(
+    machine: Machine,
+    store: PageStatsStore,
+    pid: int,
+    abit_weight: float = 1.0,
+    trace_weight: float = 1.0,
+) -> str:
+    """Render one process's extended numa_maps."""
+    pt = machine.page_tables.get(pid)
+    if pt is None:
+        raise KeyError(f"no such pid: {pid}")
+    store.resize(machine.n_frames)
+    abit = store.abit_total
+    trace = store.trace_total
+    lines = []
+    for vma, flags in pt.walk():
+        lo = int(vma.pfn_base)
+        hi = lo + vma.npages
+        a = abit[lo:hi]
+        t = trace[lo:hi]
+        rank = abit_weight * a + trace_weight * t
+        dirty = int(np.count_nonzero(flags & PTE_DIRTY))
+        accessed = int(np.count_nonzero(flags & PTE_ACCESSED))
+        hottest = int(rank.argmax()) if vma.npages else 0
+        lines.append(
+            f"{vma.start_vpn << 12:012x} default {vma.name} "
+            f"anon={vma.npages} dirty={dirty} accessed={accessed} "
+            f"abit={int(a.sum())} trace={int(t.sum())} "
+            f"rank={float(rank.sum()):.1f} "
+            f"hottest={(vma.start_vpn + hottest) << 12:#x}"
+        )
+    return "\n".join(lines)
+
+
+def format_all_numa_maps(
+    machine: Machine, store: PageStatsStore, pids=None
+) -> str:
+    """Render numa_maps for many PIDs, separated by headers."""
+    if pids is None:
+        pids = sorted(machine.page_tables)
+    blocks = []
+    for pid in pids:
+        blocks.append(f"# pid {pid}")
+        blocks.append(format_numa_maps(machine, store, pid))
+    return "\n".join(blocks)

@@ -1,0 +1,238 @@
+"""The TMP orchestrator.
+
+Ties the drivers together exactly as Fig. 1 sketches: the kernel-side
+drivers (A-bit walker, IBS/PEBS trace collector) feed the extended page
+descriptors; the HWPC monitor gates them; the user-space daemon
+supplies PIDs through the resource filter; and at each epoch boundary
+the profiler freezes a per-page profile and hands policies a single
+hotness ranking.
+
+Driving convention: the simulation loop calls :meth:`observe_batch`
+for every executed batch (so the profiler can attribute CPU usage to
+PIDs) and :meth:`end_epoch` once per epoch (≈ one simulated second).
+All scheduling is in *simulated* time from ``machine.time_s``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..memsim.events import AccessBatch
+from ..memsim.machine import BatchResult, Machine
+from .abit_driver import ABitDriver
+from .config import TMPConfig
+from .hotness import RankSource, hotness_rank
+from .hwpc_monitor import GatingDecision, HWPCMonitor
+from .page_stats import EpochProfile, PageStatsStore
+from .process_filter import ProcessFilter, ProcessUsage
+from .trace_driver import TraceDriver
+
+__all__ = ["TMProfiler", "TMPEpochReport", "OverheadBreakdown"]
+
+
+@dataclass
+class OverheadBreakdown:
+    """Profiling time by component (seconds of simulated CPU time)."""
+
+    abit_s: float = 0.0
+    trace_s: float = 0.0
+    hwpc_s: float = 0.0
+    filter_s: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        return self.abit_s + self.trace_s + self.hwpc_s + self.filter_s
+
+    def fraction_of(self, app_time_s: float) -> float:
+        """Profiling overhead as a fraction of application time."""
+        return self.total_s / app_time_s if app_time_s > 0 else 0.0
+
+
+@dataclass
+class TMPEpochReport:
+    """Everything TMP produced for one finished epoch."""
+
+    epoch: int
+    profile: EpochProfile
+    gating: GatingDecision | None
+    tracked_pids: list[int]
+    abit_pages_found: int
+    trace_samples: int
+    app_time_s: float
+    overhead: OverheadBreakdown = field(default_factory=OverheadBreakdown)
+    #: The raw trace records drained this epoch (for heatmaps and
+    #: sample-level analyses; hotness aggregation already happened).
+    samples: object = None
+
+    def rank(self, source: RankSource | str = RankSource.COMBINED) -> np.ndarray:
+        """The epoch's hotness ranking from the chosen source(s)."""
+        return hotness_rank(self.profile, source)
+
+
+class TMProfiler:
+    """TMP: the tiered-memory profiler."""
+
+    def __init__(self, machine: Machine, config: TMPConfig | None = None):
+        self.machine = machine
+        self.config = config or TMPConfig()
+        self.store = PageStatsStore()
+        self.abit = ABitDriver(machine, self.config, self.store)
+        self.trace = TraceDriver(machine, self.config, self.store)
+        self.hwpc = HWPCMonitor(machine, self.config)
+        self.filter = ProcessFilter(self.config)
+        self.reports: list[TMPEpochReport] = []
+
+        self._registered: set[int] = set()
+        self._epoch_ops: dict[int, int] = {}
+        self._last_scan_s = float("-inf")
+        self._last_filter_s = float("-inf")
+        self._overhead_snapshot = (0.0, 0.0, 0.0, 0.0)
+
+    # ----------------------------------------------------------- registration
+
+    def register_pids(self, pids) -> None:
+        """Add PIDs to the daemon-supplied tracking universe."""
+        self._registered.update(int(p) for p in pids)
+
+    def register_workload(self, workload) -> None:
+        """Register every process of an attached workload."""
+        self.register_pids(workload.pids)
+
+    @property
+    def registered_pids(self) -> list[int]:
+        """All PIDs the daemon has registered (pre-filter)."""
+        return sorted(self._registered)
+
+    # ------------------------------------------------------------- observation
+
+    def observe_batch(self, batch: AccessBatch, result: BatchResult) -> None:
+        """Attribute executed ops to PIDs (feeds the resource filter)."""
+        if batch.n == 0:
+            return
+        self.store.resize(self.machine.n_frames)
+        pids, counts = np.unique(batch.pid, return_counts=True)
+        for pid, cnt in zip(pids, counts):
+            self._epoch_ops[int(pid)] = self._epoch_ops.get(int(pid), 0) + int(cnt)
+
+    def _usage(self) -> list[ProcessUsage]:
+        total_ops = sum(self._epoch_ops.values())
+        total_frames = max(self.machine.n_frames, 1)
+        n_cpus = self.machine.config.n_cpus
+        usage = []
+        for pid in sorted(self._registered):
+            pt = self.machine.page_tables.get(pid)
+            mem = (pt.total_frames / total_frames) if pt else 0.0
+            # CPU share in single-core units (as `top` reports it): a
+            # process saturating one of N cores shows 100 %, not 1/N.
+            cpu = (
+                self._epoch_ops.get(pid, 0) / total_ops * n_cpus if total_ops else 0.0
+            )
+            usage.append(ProcessUsage(pid=pid, cpu_share=cpu, mem_share=mem))
+        return usage
+
+    def tick(self) -> bool:
+        """Mid-epoch service point: run the A-bit scan if it is due.
+
+        The simulation loop may slice an epoch into several machine
+        batches and call ``tick`` between them; with the default scan
+        interval of 0 ("scan at every service point") this yields
+        graded per-epoch A-bit counts — a page re-walked between scans
+        accumulates more than a page touched once — which is the
+        gradation the rank fusion of §IV step 1 sums with trace
+        samples.  Returns True when a scan ran.
+        """
+        if not self.config.abit_enabled or not self.abit.enabled:
+            return False
+        now = self.machine.time_s
+        if now - self._last_scan_s < self.config.abit_scan_interval_s:
+            return False
+        self.store.resize(self.machine.n_frames)
+        tracked = self.filter.tracked if self.config.process_filter else None
+        if not tracked:
+            tracked = self.registered_pids
+        self.abit.scan(tracked)
+        self._last_scan_s = now
+        return True
+
+    # ------------------------------------------------------------------ epochs
+
+    def end_epoch(self) -> TMPEpochReport:
+        """Close the current epoch: gate, scan, drain, snapshot."""
+        self.store.resize(self.machine.n_frames)
+        now = self.machine.time_s
+        cfg = self.config
+
+        # 1. HWPC interval read + gating decisions for this boundary.
+        decision: GatingDecision | None = None
+        if cfg.hwpc_gating:
+            decision = self.hwpc.observe_interval()
+            self.abit.enabled = cfg.abit_enabled and decision.abit_active
+            self.trace.enabled = cfg.trace_enabled and decision.trace_active
+        else:
+            self.abit.enabled = cfg.abit_enabled
+            self.trace.enabled = cfg.trace_enabled
+
+        # 2. Resource-filter re-evaluation (once per filter interval).
+        if now - self._last_filter_s >= cfg.filter_interval_s:
+            self.filter.evaluate(self._usage())
+            self._last_filter_s = now
+        tracked = self.filter.tracked if cfg.process_filter else self.registered_pids
+
+        # 3. A-bit scan pass (once per scan interval).
+        abit_found = 0
+        if now - self._last_scan_s >= cfg.abit_scan_interval_s:
+            abit_found = self.abit.scan(tracked)
+            self._last_scan_s = now
+
+        # 4. Drain the trace buffer.
+        samples = self.trace.drain()
+
+        # 5. Freeze the epoch profile.
+        profile = self.store.end_epoch()
+        report = TMPEpochReport(
+            epoch=profile.epoch,
+            profile=profile,
+            gating=decision,
+            tracked_pids=list(tracked),
+            abit_pages_found=abit_found,
+            trace_samples=samples.n,
+            app_time_s=now,
+            overhead=self._overhead_delta(),
+            samples=samples,
+        )
+        self.reports.append(report)
+        self._epoch_ops.clear()
+        return report
+
+    def _overhead_delta(self) -> OverheadBreakdown:
+        prev = self._overhead_snapshot
+        cur = (
+            self.abit.stats.time_s,
+            self.trace.stats.time_s,
+            self.hwpc.time_s,
+            self.filter.time_s,
+        )
+        self._overhead_snapshot = cur
+        return OverheadBreakdown(
+            abit_s=cur[0] - prev[0],
+            trace_s=cur[1] - prev[1],
+            hwpc_s=cur[2] - prev[2],
+            filter_s=cur[3] - prev[3],
+        )
+
+    # --------------------------------------------------------------- summaries
+
+    def total_overhead(self) -> OverheadBreakdown:
+        """Whole-run profiling time by component."""
+        return OverheadBreakdown(
+            abit_s=self.abit.stats.time_s,
+            trace_s=self.trace.stats.time_s,
+            hwpc_s=self.hwpc.time_s,
+            filter_s=self.filter.time_s,
+        )
+
+    def overhead_fraction(self) -> float:
+        """Whole-run profiling overhead relative to application time."""
+        return self.total_overhead().fraction_of(self.machine.time_s)

@@ -1,0 +1,193 @@
+"""Physical frame allocation and per-frame bookkeeping.
+
+The machine hands out physical frames eagerly when a VMA is mapped, in
+ascending PFN order, and frames are never recycled within a simulation
+run.  PFNs therefore double as stable global page identities: the page
+descriptor store (``repro.core.page_stats``), the tier placement map
+(``repro.tiering.placement``) and the heatmap/CDF analyses all index by
+PFN.
+
+``FrameStats`` holds the *ground-truth* per-frame access counters the
+machine maintains regardless of which profilers are armed.  Ground
+truth feeds the Oracle policy and the accuracy metrics; the profilers
+under evaluation only ever see their own (partial) sampled views.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .address import ADDR_DTYPE
+
+__all__ = ["FrameAllocator", "FrameStats", "GrowableArray"]
+
+
+class GrowableArray:
+    """A 1-D numpy array that grows geometrically as frames are added.
+
+    Reads and vectorized updates go through :meth:`data`, which returns
+    a view trimmed to the current logical length.
+    """
+
+    def __init__(self, dtype, fill=0, initial_capacity: int = 1024):
+        self._dtype = np.dtype(dtype)
+        self._fill = fill
+        self._buf = np.full(int(initial_capacity), fill, dtype=self._dtype)
+        self._len = 0
+
+    def __len__(self) -> int:
+        return self._len
+
+    def resize(self, n: int) -> None:
+        """Grow the logical length to ``n`` (no-op if already larger)."""
+        if n <= self._len:
+            return
+        if n > self._buf.size:
+            cap = max(n, self._buf.size * 2)
+            newbuf = np.full(cap, self._fill, dtype=self._dtype)
+            newbuf[: self._len] = self._buf[: self._len]
+            self._buf = newbuf
+        self._len = n
+
+    def data(self) -> np.ndarray:
+        """View of the live portion of the array."""
+        return self._buf[: self._len]
+
+    def fill(self, value) -> None:
+        """Set every live element to ``value``."""
+        self._buf[: self._len] = value
+
+
+class FrameAllocator:
+    """Monotonic physical-frame allocator.
+
+    Parameters
+    ----------
+    total_frames:
+        Hard cap on the number of frames (the machine's physical memory
+        size in pages); exceeding it raises ``MemoryError``.
+    """
+
+    def __init__(self, total_frames: int):
+        if total_frames <= 0:
+            raise ValueError(f"total_frames must be positive, got {total_frames}")
+        self.total_frames = int(total_frames)
+        self._next = 0
+
+    @property
+    def allocated(self) -> int:
+        """Number of frames handed out so far."""
+        return self._next
+
+    @property
+    def free(self) -> int:
+        """Number of frames still available."""
+        return self.total_frames - self._next
+
+    def alloc(self, n: int) -> int:
+        """Allocate ``n`` contiguous frames; return the base PFN."""
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        if self._next + n > self.total_frames:
+            raise MemoryError(
+                f"out of physical frames: requested {n}, "
+                f"free {self.free} of {self.total_frames}"
+            )
+        base = self._next
+        self._next += n
+        return base
+
+
+class FrameStats:
+    """Ground-truth per-frame counters maintained by the machine.
+
+    Attributes (all PFN-indexed, grown lazily as frames are allocated):
+
+    ``access_count``   total loads+stores that touched the frame.
+    ``store_count``    total stores.
+    ``mem_access_count`` accesses serviced from memory (LLC misses) —
+                       the paper's notion of an access that a tier
+                       actually observes; tier-1 hitrate is computed
+                       over these.
+    ``tlb_miss_count`` accesses that missed the TLB (page walks).
+    ``first_touch_op`` global op index of the frame's first access
+                       (``UINT64_MAX`` until touched) — drives the
+                       first-come-first-allocate baseline.
+    """
+
+    _NEVER = np.uint64(np.iinfo(np.uint64).max)
+
+    def __init__(self):
+        self._access = GrowableArray(np.int64)
+        self._store = GrowableArray(np.int64)
+        self._mem = GrowableArray(np.int64)
+        self._tlbmiss = GrowableArray(np.int64)
+        self._first = GrowableArray(ADDR_DTYPE, fill=self._NEVER)
+
+    def resize(self, n_frames: int) -> None:
+        """Ensure counters exist for PFNs ``[0, n_frames)``."""
+        for arr in (self._access, self._store, self._mem, self._tlbmiss, self._first):
+            arr.resize(n_frames)
+
+    def __len__(self) -> int:
+        return len(self._access)
+
+    @property
+    def access_count(self) -> np.ndarray:
+        return self._access.data()
+
+    @property
+    def store_count(self) -> np.ndarray:
+        return self._store.data()
+
+    @property
+    def mem_access_count(self) -> np.ndarray:
+        return self._mem.data()
+
+    @property
+    def tlb_miss_count(self) -> np.ndarray:
+        return self._tlbmiss.data()
+
+    @property
+    def first_touch_op(self) -> np.ndarray:
+        return self._first.data()
+
+    def touched_mask(self) -> np.ndarray:
+        """Boolean mask of frames that have ever been accessed."""
+        return self._first.data() != self._NEVER
+
+    def record(
+        self,
+        pfns: np.ndarray,
+        is_store: np.ndarray,
+        mem_mask: np.ndarray,
+        tlb_miss_mask: np.ndarray,
+        op_base: int,
+    ) -> None:
+        """Accumulate one executed batch into the counters.
+
+        ``pfns`` are per-access frame numbers; the masks are per-access
+        booleans aligned with ``pfns``; ``op_base`` is the global op
+        index of the batch's first access (used for first-touch
+        stamps).
+        """
+        if pfns.size == 0:
+            return
+        n = len(self._access)
+        pf = pfns.astype(np.intp, copy=False)
+        self._access.data()[:] += np.bincount(pf, minlength=n)
+        if is_store.any():
+            self._store.data()[:] += np.bincount(pf[is_store], minlength=n)
+        if mem_mask.any():
+            self._mem.data()[:] += np.bincount(pf[mem_mask], minlength=n)
+        if tlb_miss_mask.any():
+            self._tlbmiss.data()[:] += np.bincount(pf[tlb_miss_mask], minlength=n)
+
+        first = self._first.data()
+        untouched = np.flatnonzero(first[pf] == self._NEVER)
+        if untouched.size:
+            # First position in the batch at which each new frame appears.
+            new_pfns, first_pos = np.unique(pf[untouched], return_index=True)
+            first[new_pfns] = ADDR_DTYPE(op_base) + untouched[first_pos].astype(
+                ADDR_DTYPE
+            )

@@ -1,0 +1,405 @@
+"""Whole-machine assembly: the simulated testbed.
+
+A :class:`Machine` wires together the page tables, TLB + walker, cache
+hierarchy, PMU, trace samplers (IBS and PEBS), PML and BadgerTrap, and
+executes workload :class:`~repro.memsim.events.AccessBatch` streams
+through them in program order.  Each executed batch yields a
+:class:`BatchResult` carrying the per-access microarchitectural outcome
+(physical address, TLB hit, data source) plus the raw PMU event counts
+— everything the profilers under study are allowed to observe, and the
+ground truth they are measured against.
+
+The default configuration loosely models the paper's testbed (AMD
+Ryzen 5 3600X: 6 cores, 32 MiB LLC, 64 GiB DRAM) with
+capacity-equivalent direct-mapped lookup structures (see
+:mod:`repro.memsim.vecsim` for the exactness/performance rationale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .address import (
+    ADDR_DTYPE,
+    LINE_SHIFT,
+    PAGE_OFFSET_MASK,
+    PAGE_SHIFT,
+    page_of,
+)
+from .badgertrap import BadgerTrap
+from .cache import CacheHierarchy
+from .events import AccessBatch, DataSource
+from .frames import FrameAllocator, FrameStats
+from .ibs import IBSSampler
+from .lwp import LWPSampler
+from .page_table import PageTable, VMA
+from .pebs import PEBSSampler
+from .resctrl import ResctrlMonitor
+from .pml import PMLogger
+from .pmu import PMU
+from .ptw import PageTableWalker
+from .sampling import DEFAULT_IBS_PERIOD
+from .tlb import TLBArray
+
+__all__ = ["MachineConfig", "Machine", "BatchResult"]
+
+
+@dataclass
+class MachineConfig:
+    """Tunable parameters of the simulated machine."""
+
+    #: Physical memory size in 4 KiB frames (default 16 Mi frames = 64 GiB).
+    total_frames: int = 1 << 24
+    #: dTLB capacity in translations (L1+L2 dTLB capacity-equivalent).
+    tlb_entries: int = 2048
+    tlb_ways: int = 1
+    #: Cache sizes (Ryzen 3600X-like: 32K L1D, 512K L2, 32M shared LLC).
+    l1_bytes: int = 32 * 1024
+    l2_bytes: int = 512 * 1024
+    llc_bytes: int = 32 * 1024 * 1024
+    cache_ways: int = 1
+    #: Use the exact sequential set-associative engines (slow; tests only).
+    exact_assoc: bool = False
+    n_cpus: int = 6
+    #: Simulated memory-access throughput, accesses/second.  Converts op
+    #: counts to wall-clock for scan scheduling and overhead accounting.
+    ops_per_second: float = 1e9
+    #: IBS op-sampling period (paper default: 1 / 256 Ki ops).
+    ibs_period: int = DEFAULT_IBS_PERIOD
+    #: IBS period randomization (fraction; real IBS jitters its counter
+    #: to break lockstep with loop-structured code).  0 keeps sampling
+    #: deterministic, which the calibrated experiments rely on.
+    ibs_jitter: float = 0.0
+    #: PEBS armed-event period.
+    pebs_period: int = 64
+    pmu_counters: int = 6
+    #: LWP op-sampling period (per-process ring buffers, §II-B).
+    lwp_period: int = 64
+    enable_ibs: bool = True
+    enable_pebs: bool = False
+    enable_lwp: bool = False
+    enable_pml: bool = False
+    #: First VPN handed to auto-placed VMAs, and guard gap between them.
+    vma_base_vpn: int = 0x1000
+    vma_guard_pages: int = 16
+
+    #: Load-use cycle costs by data source, plus the page-walk penalty.
+    #: These feed the machine's AMAT accounting (``Machine.cycles``,
+    #: ``BatchResult.cycles``) — an analysis signal; epoch/scan
+    #: scheduling stays op-based.
+    cycles_l1: int = 4
+    cycles_l2: int = 14
+    cycles_llc: int = 40
+    cycles_mem: int = 200
+    cycles_walk: int = 20
+
+    @classmethod
+    def scaled(cls, **overrides) -> "MachineConfig":
+        """The experiment testbed: the paper's machine scaled ~1/64.
+
+        Workload footprints in :mod:`repro.workloads.registry` are the
+        paper's inputs scaled down ~64x; this preset shrinks TLB reach,
+        cache capacities, the IBS period, and the clock by the same
+        factor so every capacity *ratio* (footprint : TLB reach,
+        hot set : LLC, samples : pages, epoch : scan interval) matches
+        the full-size system.  One epoch of ~200 K accesses ≈ one
+        second of simulated time, the paper's profiling quantum.
+        """
+        params = dict(
+            total_frames=1 << 22,
+            tlb_entries=256,
+            l1_bytes=8 * 1024,
+            l2_bytes=64 * 1024,
+            llc_bytes=1024 * 1024,
+            ops_per_second=2.0e5,
+            # Preserves the paper's samples-per-second: 1e9 ops/s at
+            # period 256 Ki ≈ 3.8 K samples/s ⇔ 2e5 ops/s at period 64.
+            ibs_period=64,
+            pebs_period=64,
+        )
+        params.update(overrides)
+        return cls(**params)
+
+
+@dataclass
+class BatchResult:
+    """Per-access outcome of one executed batch (SoA, program order)."""
+
+    #: Global op index of the batch's first access.
+    op_base: int
+    #: Physical byte address per access.
+    paddr: np.ndarray
+    #: Physical frame number per access.
+    pfn: np.ndarray
+    #: PTE slot per access (per-process index; meaningful with ``pid``).
+    slot: np.ndarray
+    #: True where the access hit the TLB.
+    tlb_hit: np.ndarray
+    #: DataSource per access (uint8).
+    data_source: np.ndarray
+    #: Raw PMU-visible event counts for this batch.
+    raw_events: dict[str, int] = field(default_factory=dict)
+    #: Modelled memory-access cycles for the batch (AMAT accounting).
+    cycles: int = 0
+
+    @property
+    def n(self) -> int:
+        return int(self.paddr.size)
+
+    @property
+    def amat_cycles(self) -> float:
+        """Average memory-access time in cycles for this batch."""
+        return self.cycles / self.n if self.n else 0.0
+
+    @property
+    def mem_mask(self) -> np.ndarray:
+        """Accesses serviced from a memory tier (missed every cache)."""
+        return self.data_source == np.uint8(DataSource.MEMORY)
+
+    def page_access_counts(self, n_frames: int) -> np.ndarray:
+        """Per-PFN total access counts for this batch."""
+        return np.bincount(self.pfn.astype(np.intp), minlength=n_frames)
+
+    def page_mem_access_counts(self, n_frames: int) -> np.ndarray:
+        """Per-PFN memory-access (LLC-miss) counts for this batch."""
+        return np.bincount(
+            self.pfn[self.mem_mask].astype(np.intp), minlength=n_frames
+        )
+
+
+class Machine:
+    """The simulated machine executing access streams."""
+
+    def __init__(self, config: MachineConfig | None = None):
+        self.config = config or MachineConfig()
+        c = self.config
+        self.allocator = FrameAllocator(c.total_frames)
+        self.frame_stats = FrameStats()
+        self.page_tables: dict[int, PageTable] = {}
+        self._next_vpn: dict[int, int] = {}
+        self.tlb = TLBArray(
+            n_cpus=c.n_cpus,
+            entries=c.tlb_entries,
+            ways=c.tlb_ways,
+            exact_assoc=c.exact_assoc,
+        )
+        self.caches = CacheHierarchy(
+            c.l1_bytes,
+            c.l2_bytes,
+            c.llc_bytes,
+            n_cpus=c.n_cpus,
+            ways=c.cache_ways,
+            exact_assoc=c.exact_assoc,
+        )
+        self.ptw = PageTableWalker()
+        self.pmu = PMU(n_counters=c.pmu_counters)
+        self.ibs = IBSSampler(period=c.ibs_period, jitter=c.ibs_jitter)
+        self.ibs.enabled = c.enable_ibs
+        self.pebs = PEBSSampler(period=c.pebs_period)
+        self.pebs.enabled = c.enable_pebs
+        self.lwp = LWPSampler(period=c.lwp_period)
+        self.lwp.enabled = c.enable_lwp
+        #: Optional Resource-Control monitor (see :meth:`enable_resctrl`).
+        self.resctrl: ResctrlMonitor | None = None
+        self.pml = PMLogger()
+        self.pml.enabled = c.enable_pml
+        self.badgertrap = BadgerTrap()
+        self.op_counter = 0
+        #: Cumulative modelled memory-access cycles (AMAT numerator).
+        self.cycles = 0
+
+    # ------------------------------------------------------------- processes
+
+    def process(self, pid: int) -> PageTable:
+        """Get or create the page table for ``pid``."""
+        pt = self.page_tables.get(pid)
+        if pt is None:
+            pt = PageTable(pid)
+            self.page_tables[pid] = pt
+            self._next_vpn[pid] = self.config.vma_base_vpn
+        return pt
+
+    def mmap(
+        self,
+        pid: int,
+        npages: int,
+        name: str = "anon",
+        start_vpn: int | None = None,
+        page_order: int = 0,
+    ) -> VMA:
+        """Map a new VMA for ``pid``; auto-placed unless ``start_vpn`` given.
+
+        ``page_order=9`` backs the region with 2 MiB huge PTEs (THP).
+        """
+        pt = self.process(pid)
+        if start_vpn is None:
+            start_vpn = self._next_vpn[pid]
+        vma = pt.mmap(
+            start_vpn, npages, self.allocator, name=name, page_order=page_order
+        )
+        self._next_vpn[pid] = max(
+            self._next_vpn[pid], vma.end_vpn + self.config.vma_guard_pages
+        )
+        self.frame_stats.resize(self.allocator.allocated)
+        return vma
+
+    @property
+    def n_frames(self) -> int:
+        """Frames allocated so far (PFN-indexed array length)."""
+        return self.allocator.allocated
+
+    @property
+    def time_s(self) -> float:
+        """Simulated application wall-clock so far."""
+        return self.op_counter / self.config.ops_per_second
+
+    @property
+    def amat_cycles(self) -> float:
+        """Whole-run average memory-access time in cycles."""
+        return self.cycles / self.op_counter if self.op_counter else 0.0
+
+    def enable_resctrl(self, decay: float = 0.5, max_rmids: int = 64) -> ResctrlMonitor:
+        """Arm the Resource-Control monitor (CMT/MBM; footnote 3)."""
+        if self.resctrl is None:
+            self.resctrl = ResctrlMonitor(
+                self.config.llc_bytes, decay=decay, max_rmids=max_rmids
+            )
+        return self.resctrl
+
+    # --------------------------------------------------------------- execute
+
+    def run_batch(self, batch: AccessBatch) -> BatchResult:
+        """Execute one access batch through the full machine pipeline."""
+        n = batch.n
+        op_base = self.op_counter
+        if n == 0:
+            return BatchResult(
+                op_base=op_base,
+                paddr=np.zeros(0, dtype=ADDR_DTYPE),
+                pfn=np.zeros(0, dtype=ADDR_DTYPE),
+                slot=np.zeros(0, dtype=np.int64),
+                tlb_hit=np.zeros(0, dtype=bool),
+                data_source=np.zeros(0, dtype=np.uint8),
+            )
+
+        vpns = page_of(batch.vaddr)
+
+        # 1. Address translation (VMA arithmetic, per process).  The
+        #    TLB tag is the mapping unit's head VPN (2 MiB-aligned for
+        #    huge-page regions).
+        pfn = np.empty(n, dtype=ADDR_DTYPE)
+        slot = np.empty(n, dtype=np.int64)
+        tlb_vpn = np.empty(n, dtype=ADDR_DTYPE)
+        pids = np.unique(batch.pid)
+        pid_masks = {}
+        for pid in pids:
+            m = batch.pid == pid
+            pid_masks[int(pid)] = m
+            pt = self.page_tables.get(int(pid))
+            if pt is None:
+                from .page_table import TranslationFault
+
+                raise TranslationFault(int(pid), np.unique(vpns[m]))
+            pfn[m], slot[m], tlb_vpn[m] = pt.translate_ex(vpns[m])
+
+        # 2. Per-CPU TLB lookup (misses install their fill).
+        tlb_hit = self.tlb.access(batch.pid, tlb_vpn, batch.cpu)
+        miss = ~tlb_hit
+
+        # 3. Page-table walks on misses: A bits, poison faults.
+        for pid, m in pid_masks.items():
+            pt = self.page_tables[pid]
+            mm = m & miss
+            if not mm.any():
+                continue
+            miss_slots = slot[mm]
+            poisoned = self.ptw.fill_walks(pt, miss_slots)
+            if poisoned.any():
+                self.badgertrap.handle_faults(pfn[mm][poisoned])
+
+        # 4. Dirty bits on stores (TLB-independent; see ptw docstring).
+        if batch.is_store.any():
+            for pid, m in pid_masks.items():
+                ms = m & batch.is_store
+                if not ms.any():
+                    continue
+                pt = self.page_tables[pid]
+                newly_dirty = self.ptw.dirty_updates(pt, slot[ms])
+                if newly_dirty.size and self.pml.enabled:
+                    self.pml.observe_dirty(pt.slot_to_pfn(newly_dirty))
+
+        # 5. Cache hierarchy on physical line addresses.
+        paddr = (pfn << ADDR_DTYPE(PAGE_SHIFT)) | (
+            batch.vaddr & ADDR_DTYPE(PAGE_OFFSET_MASK)
+        )
+        lines = paddr >> ADDR_DTYPE(LINE_SHIFT)
+        data_source = self.caches.access(lines, batch.cpu)
+
+        # 6. Raw PMU events for this batch.
+        n_stores = int(np.count_nonzero(batch.is_store))
+        l1_miss = int(np.count_nonzero(data_source != np.uint8(DataSource.L1)))
+        l2_miss = int(np.count_nonzero(data_source >= np.uint8(DataSource.LLC)))
+        llc_miss = int(np.count_nonzero(data_source == np.uint8(DataSource.MEMORY)))
+        n_miss = int(np.count_nonzero(miss))
+        raw = {
+            "retired_ops": n,
+            "retired_loads": n - n_stores,
+            "retired_stores": n_stores,
+            "l1_miss": l1_miss,
+            "l2_miss": l2_miss,
+            "llc_miss": llc_miss,
+            "dtlb_miss": n_miss,
+            "ptw_walks": n_miss,
+        }
+        if self.pmu.events:
+            self.pmu.update(raw)
+
+        # AMAT accounting: every access pays its servicing level's
+        # load-use latency; TLB misses add a page-walk penalty.
+        cfg = self.config
+        batch_cycles = int(
+            n * cfg.cycles_l1
+            + l1_miss * (cfg.cycles_l2 - cfg.cycles_l1)
+            + l2_miss * (cfg.cycles_llc - cfg.cycles_l2)
+            + llc_miss * (cfg.cycles_mem - cfg.cycles_llc)
+            + n_miss * cfg.cycles_walk
+        )
+        self.cycles += batch_cycles
+
+        # 7. Trace samplers + optional resource-control accounting.
+        self.ibs.observe(
+            batch, op_base=op_base, paddr=paddr, tlb_hit=tlb_hit, data_source=data_source
+        )
+        self.pebs.observe(
+            batch, op_base=op_base, paddr=paddr, tlb_hit=tlb_hit, data_source=data_source
+        )
+        self.lwp.observe(
+            batch, op_base=op_base, paddr=paddr, tlb_hit=tlb_hit, data_source=data_source
+        )
+        if self.resctrl is not None:
+            self.resctrl.observe(
+                batch.pid, data_source == np.uint8(DataSource.MEMORY)
+            )
+
+        # 8. Ground truth.
+        self.frame_stats.record(
+            pfn,
+            batch.is_store,
+            data_source == np.uint8(DataSource.MEMORY),
+            miss,
+            op_base,
+        )
+        self.op_counter += n
+
+        return BatchResult(
+            op_base=op_base,
+            paddr=paddr,
+            pfn=pfn,
+            slot=slot,
+            tlb_hit=tlb_hit,
+            data_source=data_source,
+            raw_events=raw,
+            cycles=batch_cycles,
+        )

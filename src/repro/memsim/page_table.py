@@ -1,0 +1,257 @@
+"""Per-process page tables with VMA-backed vectorized translation.
+
+Real x86-64 page tables are 4-level radix trees; what the paper's
+mechanisms observe, however, is the *leaf* PTE state: present/A/D/poison
+bits, and the VPN→PFN mapping.  We model exactly that leaf state, with
+pages grouped into VMAs (the ``vm_area_struct`` analogue) so that
+translation of a whole access batch is pure array arithmetic:
+
+    vma   = interval containing vpn           (searchsorted)
+    pfn   = vma.pfn_base  + (vpn - vma.start)
+    slot  = vma.slot_base + (vpn - vma.start)  → index into the
+                                                  process's PTE-flag array
+
+``walk()`` mirrors the kernel's ``mm_walk``: it visits every valid PTE
+range so the A-bit driver can test-and-clear accessed bits in bulk
+(§III-B.2 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .address import ADDR_DTYPE
+from .frames import FrameAllocator, GrowableArray
+from .pte import PTE_DEFAULT
+
+__all__ = ["VMA", "PageTable", "TranslationFault"]
+
+
+class TranslationFault(Exception):
+    """Raised when a batch touches an unmapped virtual page."""
+
+    def __init__(self, pid: int, vpns: np.ndarray):
+        self.pid = pid
+        self.vpns = vpns
+        preview = ", ".join(hex(int(v)) for v in vpns[:4])
+        super().__init__(
+            f"pid {pid}: access to {vpns.size} unmapped page(s), e.g. vpn {preview}"
+        )
+
+
+@dataclass(frozen=True)
+class VMA:
+    """A mapped virtual region (``vm_area_struct`` analogue).
+
+    ``page_order`` selects the mapping granularity: 0 for 4 KiB base
+    pages, 9 for 2 MiB transparent huge pages.  A huge-page VMA is
+    still backed by 4 KiB frames (``npages`` of them), but has one PTE
+    — one slot, one A/D bit, one TLB entry — per 512-frame unit, which
+    is precisely the granularity asymmetry that makes A-bit profiling
+    coarse on THP-backed heaps while IBS keeps 4 KiB resolution.
+    """
+
+    name: str
+    start_vpn: int
+    npages: int
+    pfn_base: int
+    slot_base: int
+    page_order: int = 0
+
+    @property
+    def unit_pages(self) -> int:
+        """4 KiB frames per PTE (1 for base pages, 512 for 2 MiB)."""
+        return 1 << self.page_order
+
+    @property
+    def n_units(self) -> int:
+        """Number of PTEs (mapping units) in the region."""
+        return (self.npages + self.unit_pages - 1) >> self.page_order
+
+    @property
+    def end_vpn(self) -> int:
+        """One past the last mapped VPN."""
+        return self.start_vpn + self.npages
+
+    @property
+    def vpns(self) -> np.ndarray:
+        """All VPNs in the region."""
+        return np.arange(self.start_vpn, self.end_vpn, dtype=ADDR_DTYPE)
+
+    @property
+    def pfns(self) -> np.ndarray:
+        """All backing PFNs, aligned with :attr:`vpns`."""
+        return np.arange(self.pfn_base, self.pfn_base + self.npages, dtype=ADDR_DTYPE)
+
+    def __contains__(self, vpn: int) -> bool:
+        return self.start_vpn <= vpn < self.end_vpn
+
+
+class PageTable:
+    """Leaf page-table state for one process.
+
+    PTE flags for all of the process's pages live in one contiguous
+    ``uint64`` array indexed by *slot*; every VMA occupies a contiguous
+    slot range, so bulk flag updates for a translated batch are a
+    single fancy-indexed in-place operation.
+    """
+
+    def __init__(self, pid: int):
+        self.pid = int(pid)
+        self.vmas: list[VMA] = []
+        self._flags = GrowableArray(np.uint64, fill=0)
+        # Sorted interval arrays rebuilt on mmap (mmap is rare; lookups
+        # are hot).
+        self._starts = np.zeros(0, dtype=ADDR_DTYPE)
+        self._ends = np.zeros(0, dtype=ADDR_DTYPE)
+        self._pfn_base = np.zeros(0, dtype=ADDR_DTYPE)
+        self._slot_base = np.zeros(0, dtype=np.int64)
+        self._order = np.zeros(0, dtype=ADDR_DTYPE)
+
+    # ------------------------------------------------------------------ map
+
+    def mmap(
+        self,
+        start_vpn: int,
+        npages: int,
+        allocator: FrameAllocator,
+        name: str = "anon",
+        page_order: int = 0,
+    ) -> VMA:
+        """Map ``npages`` pages at ``start_vpn``, eagerly backed by frames.
+
+        ``page_order=9`` maps the region with 2 MiB huge PTEs (THP).
+        Overlapping an existing VMA raises ``ValueError``.
+        """
+        if npages <= 0:
+            raise ValueError(f"npages must be positive, got {npages}")
+        if page_order < 0:
+            raise ValueError(f"page_order must be >= 0, got {page_order}")
+        end = start_vpn + npages
+        for v in self.vmas:
+            if start_vpn < v.end_vpn and v.start_vpn < end:
+                raise ValueError(
+                    f"pid {self.pid}: [{start_vpn:#x}, {end:#x}) overlaps "
+                    f"VMA {v.name!r} [{v.start_vpn:#x}, {v.end_vpn:#x})"
+                )
+        pfn_base = allocator.alloc(npages)
+        slot_base = len(self._flags)
+        vma = VMA(
+            name=name,
+            start_vpn=int(start_vpn),
+            npages=int(npages),
+            pfn_base=pfn_base,
+            slot_base=slot_base,
+            page_order=int(page_order),
+        )
+        self._flags.resize(slot_base + vma.n_units)
+        self._flags.data()[slot_base:] = PTE_DEFAULT
+        self.vmas.append(vma)
+        self._rebuild_index()
+        return vma
+
+    def _rebuild_index(self) -> None:
+        order = sorted(range(len(self.vmas)), key=lambda i: self.vmas[i].start_vpn)
+        self.vmas = [self.vmas[i] for i in order]
+        self._starts = np.array([v.start_vpn for v in self.vmas], dtype=ADDR_DTYPE)
+        self._ends = np.array([v.end_vpn for v in self.vmas], dtype=ADDR_DTYPE)
+        self._pfn_base = np.array([v.pfn_base for v in self.vmas], dtype=ADDR_DTYPE)
+        self._slot_base = np.array([v.slot_base for v in self.vmas], dtype=np.int64)
+        self._order = np.array([v.page_order for v in self.vmas], dtype=ADDR_DTYPE)
+
+    # ------------------------------------------------------------ translate
+
+    @property
+    def n_pages(self) -> int:
+        """Total PTEs (mapping units) — what an A-bit walk visits."""
+        return len(self._flags)
+
+    @property
+    def total_frames(self) -> int:
+        """Total 4 KiB frames backing the process's mappings."""
+        return sum(v.npages for v in self.vmas)
+
+    @property
+    def flags(self) -> np.ndarray:
+        """The process's PTE-flag array, indexed by slot."""
+        return self._flags.data()
+
+    def translate(self, vpns: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Translate an array of VPNs to ``(pfns, slots)``.
+
+        Raises :class:`TranslationFault` listing the offending VPNs if
+        any page is unmapped.
+        """
+        pfns, slots, _ = self.translate_ex(vpns)
+        return pfns, slots
+
+    def translate_ex(
+        self, vpns: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Translate VPNs to ``(pfns, slots, tlb_vpns)``.
+
+        ``tlb_vpns`` is the mapping-unit-aligned VPN each translation
+        is tagged with in the TLB — the VPN itself for base pages, the
+        2 MiB-aligned head for huge-page units.
+        """
+        vpns = np.asarray(vpns, dtype=ADDR_DTYPE)
+        if self._starts.size == 0:
+            if vpns.size:
+                raise TranslationFault(self.pid, np.unique(vpns))
+            z = np.zeros(0, dtype=np.int64)
+            return vpns.copy(), z, vpns.copy()
+        idx = np.searchsorted(self._starts, vpns, side="right") - 1
+        bad = (idx < 0) | (vpns >= self._ends[np.clip(idx, 0, None)])
+        if bad.any():
+            raise TranslationFault(self.pid, np.unique(vpns[bad]))
+        off = vpns - self._starts[idx]
+        pfns = self._pfn_base[idx] + off
+        shift = self._order[idx]
+        unit_off = off >> shift
+        slots = self._slot_base[idx] + unit_off.astype(np.int64)
+        tlb_vpns = self._starts[idx] + (unit_off << shift)
+        return pfns, slots, tlb_vpns
+
+    def slot_to_vpn(self, slots: np.ndarray) -> np.ndarray:
+        """Slot → VPN of the mapping unit's head."""
+        slots = np.asarray(slots, dtype=np.int64)
+        out = np.empty(slots.size, dtype=ADDR_DTYPE)
+        for v in self.vmas:
+            m = (slots >= v.slot_base) & (slots < v.slot_base + v.n_units)
+            out[m] = ADDR_DTYPE(v.start_vpn) + (
+                (slots[m] - v.slot_base).astype(ADDR_DTYPE) << ADDR_DTYPE(v.page_order)
+            )
+        return out
+
+    def slot_to_pfn(self, slots: np.ndarray) -> np.ndarray:
+        """Slot → PFN of the mapping unit's head frame."""
+        slots = np.asarray(slots, dtype=np.int64)
+        out = np.empty(slots.size, dtype=ADDR_DTYPE)
+        for v in self.vmas:
+            m = (slots >= v.slot_base) & (slots < v.slot_base + v.n_units)
+            out[m] = ADDR_DTYPE(v.pfn_base) + (
+                (slots[m] - v.slot_base).astype(ADDR_DTYPE) << ADDR_DTYPE(v.page_order)
+            )
+        return out
+
+    # ----------------------------------------------------------------- walk
+
+    def walk(self):
+        """Iterate VMAs as ``(vma, flags_view)`` — the ``mm_walk`` analogue.
+
+        ``flags_view`` is a writable view of the VMA's PTE flags; the
+        A-bit driver's ``gather_a_history`` callback test-and-clears
+        accessed bits directly on it.
+        """
+        flags = self._flags.data()
+        for v in self.vmas:
+            yield v, flags[v.slot_base : v.slot_base + v.n_units]
+
+    def find_vma(self, vpn: int) -> VMA | None:
+        """Return the VMA containing ``vpn``, or None."""
+        for v in self.vmas:
+            if vpn in v:
+                return v
+        return None

@@ -1,0 +1,147 @@
+"""Performance monitoring unit with counter multiplexing.
+
+HWPCs give TMP its near-free, coarse-grained signal: LLC-miss and
+dTLB-miss rates gate the expensive profilers (§III-B.4, first
+optimization).  The PMU has a fixed number of physical counter
+registers; when software programs more events than registers, ``perf``
+time-multiplexes them and scales the counts by observed duty cycle —
+which is exactly what this model does, so the verbosity loss the paper
+lists as HWPCs' disadvantage (Table I) is reproducible.
+
+Event names understood by the machine:
+
+======================  =================================================
+``retired_ops``         every executed access (proxy for retired µops)
+``retired_loads``       load accesses
+``retired_stores``      store accesses
+``l1_miss``             accesses missing L1
+``l2_miss``             accesses missing L2
+``llc_miss``            accesses missing the LLC (reaching memory)
+``dtlb_miss``           accesses missing the TLB
+``ptw_walks``           hardware page-table walks
+======================  =================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["PMU", "EVENT_NAMES", "PMUReading"]
+
+EVENT_NAMES = (
+    "retired_ops",
+    "retired_loads",
+    "retired_stores",
+    "l1_miss",
+    "l2_miss",
+    "llc_miss",
+    "dtlb_miss",
+    "ptw_walks",
+)
+
+
+@dataclass
+class PMUReading:
+    """A scaled event estimate plus its multiplexing metadata."""
+
+    event: str
+    estimate: float
+    raw_counted: int
+    duty_cycle: float
+
+    @property
+    def multiplexed(self) -> bool:
+        return self.duty_cycle < 1.0
+
+
+class PMU:
+    """Per-machine performance counters with round-robin multiplexing.
+
+    Parameters
+    ----------
+    n_counters:
+        Physical counter registers (6 on Zen 2, the paper's testbed
+        family).
+    """
+
+    def __init__(self, n_counters: int = 6):
+        if n_counters < 1:
+            raise ValueError(f"n_counters must be >= 1, got {n_counters}")
+        self.n_counters = n_counters
+        self._events: list[str] = []
+        self._counted: dict[str, int] = {}
+        self._active_slices: dict[str, int] = {}
+        self._total_slices = 0
+        self._rotor = 0
+
+    def configure(self, events: list[str]) -> None:
+        """Program the PMU with an event list (resets all counts)."""
+        unknown = [e for e in events if e not in EVENT_NAMES]
+        if unknown:
+            raise ValueError(f"unknown PMU events: {unknown}")
+        if len(set(events)) != len(events):
+            raise ValueError("duplicate PMU events")
+        self._events = list(events)
+        self.reset()
+
+    @property
+    def events(self) -> list[str]:
+        """Currently programmed events."""
+        return list(self._events)
+
+    @property
+    def is_multiplexing(self) -> bool:
+        """True when more events are programmed than registers exist."""
+        return len(self._events) > self.n_counters
+
+    def reset(self) -> None:
+        """Zero all counts and duty bookkeeping."""
+        self._counted = {e: 0 for e in self._events}
+        self._active_slices = {e: 0 for e in self._events}
+        self._total_slices = 0
+        self._rotor = 0
+
+    def _active_set(self) -> list[str]:
+        if not self.is_multiplexing:
+            return self._events
+        n = len(self._events)
+        picked = [self._events[(self._rotor + i) % n] for i in range(self.n_counters)]
+        self._rotor = (self._rotor + self.n_counters) % n
+        return picked
+
+    def update(self, raw: dict[str, int]) -> None:
+        """Feed one time slice of raw event counts from the machine.
+
+        Only the events resident in physical registers during this
+        slice accumulate; the rest lose this slice's counts (the
+        multiplexing information loss).
+        """
+        active = self._active_set()
+        self._total_slices += 1
+        for e in active:
+            self._active_slices[e] += 1
+            self._counted[e] += int(raw.get(e, 0))
+
+    def read(self, event: str) -> PMUReading:
+        """Duty-cycle-scaled estimate of one event's total count."""
+        if event not in self._counted:
+            raise KeyError(f"event {event!r} is not programmed")
+        duty_slices = self._active_slices[event]
+        duty = duty_slices / self._total_slices if self._total_slices else 0.0
+        counted = self._counted[event]
+        estimate = counted / duty if duty > 0 else 0.0
+        return PMUReading(event, estimate, counted, duty)
+
+    def read_all(self) -> dict[str, PMUReading]:
+        """Estimates for every programmed event."""
+        return {e: self.read(e) for e in self._events}
+
+    def read_and_reset(self) -> dict[str, PMUReading]:
+        """Interval read: return estimates and zero the counters."""
+        out = self.read_all()
+        rotor = self._rotor  # keep rotation phase across intervals
+        self.reset()
+        self._rotor = rotor
+        return out

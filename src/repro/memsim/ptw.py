@@ -1,0 +1,82 @@
+"""Hardware page-table walker.
+
+On every TLB miss the walker resolves the translation from the page
+table and — the behaviour all A-bit profiling hinges on — sets the PTE
+*accessed* bit as part of the fill (§II-B).  Dirty bits follow the
+different rule the paper quotes from Bhattacharjee et al.: because D
+bits are needed for correctness they are part of the TLB entry, and a
+store whose cached D bit is 0 triggers a walk to set the PTE D bit even
+on a TLB hit.  We model that as "the first store to a page since its D
+bit was last cleared sets it", independent of TLB state.
+
+The walker is also BadgerTrap's hook: a walk that lands on a PTE with
+the poison bit raises a protection fault that the kernel intercepts
+(see ``badgertrap.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .pte import PTE_ACCESSED, PTE_DIRTY, PTE_POISON
+from .page_table import PageTable
+
+__all__ = ["PageTableWalker", "PTWStats"]
+
+
+@dataclass
+class PTWStats:
+    """Cumulative walker event counters."""
+
+    walks: int = 0
+    a_bits_set: int = 0
+    d_bits_set: int = 0
+    poison_faults: int = 0
+
+
+class PageTableWalker:
+    """Sets A/D bits and surfaces poison faults for executed batches."""
+
+    def __init__(self):
+        self.stats = PTWStats()
+
+    def fill_walks(self, pt: PageTable, miss_slots: np.ndarray) -> np.ndarray:
+        """Process TLB-miss fills for one process's accesses.
+
+        ``miss_slots`` are PTE slots of the accesses that missed the
+        TLB, in program order (duplicates allowed — several misses can
+        walk the same PTE within a batch).  Sets the accessed bit on
+        each walked PTE and returns the per-miss boolean mask of walks
+        that hit a *poisoned* PTE (BadgerTrap faults).
+        """
+        miss_slots = np.asarray(miss_slots, dtype=np.int64)
+        self.stats.walks += int(miss_slots.size)
+        if miss_slots.size == 0:
+            return np.zeros(0, dtype=bool)
+        flags = pt.flags
+        touched = np.unique(miss_slots)
+        newly = (flags[touched] & PTE_ACCESSED) == 0
+        flags[touched] |= PTE_ACCESSED
+        self.stats.a_bits_set += int(np.count_nonzero(newly))
+
+        poisoned_mask = (flags[miss_slots] & PTE_POISON) != 0
+        self.stats.poison_faults += int(np.count_nonzero(poisoned_mask))
+        return poisoned_mask
+
+    def dirty_updates(self, pt: PageTable, store_slots: np.ndarray) -> np.ndarray:
+        """Set D bits for a batch of stores; return slots newly dirtied.
+
+        Newly dirtied slots are what Intel PML would append to its
+        write log.  A store to an already-dirty page costs nothing.
+        """
+        store_slots = np.asarray(store_slots, dtype=np.int64)
+        if store_slots.size == 0:
+            return store_slots
+        flags = pt.flags
+        touched = np.unique(store_slots)
+        newly = touched[(flags[touched] & PTE_DIRTY) == 0]
+        flags[newly] |= PTE_DIRTY
+        self.stats.d_bits_set += int(newly.size)
+        return newly

@@ -1,0 +1,124 @@
+"""Resource-Control-style monitoring (cache occupancy + memory bandwidth).
+
+The paper's footnote 3: beyond classic HWPCs, the x86 Resource Control
+feature (Intel RDT / AMD QoS) exposes per-task-group *cache occupancy*
+(CMT) and *memory bandwidth* (MBM) through RMIDs.  TMP can use these as
+additional coarse, near-free signals — e.g. a process whose LLC
+occupancy is high but bandwidth is low holds a cache-resident working
+set and gains little from fast memory.
+
+Model: PIDs are assigned RMIDs; each executed batch reports, per RMID,
+its LLC fills (misses that installed lines) and memory traffic.
+Occupancy is the standard event-driven estimate: an exponentially
+decayed fill share scaled to LLC capacity — matching how CMT's
+occupancy counters track installs minus (aged-out) evictions without
+per-line bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .address import LINE_SIZE
+
+__all__ = ["ResctrlMonitor", "RMIDReading"]
+
+
+@dataclass
+class RMIDReading:
+    """One interval's reading for one RMID."""
+
+    rmid: int
+    pids: tuple[int, ...]
+    #: Estimated LLC occupancy in bytes (CMT).
+    llc_occupancy_bytes: float
+    #: Memory traffic this interval in bytes (MBM total).
+    mbm_bytes: int
+
+
+class ResctrlMonitor:
+    """RMID assignment plus CMT/MBM accounting."""
+
+    def __init__(self, llc_bytes: int, decay: float = 0.5, max_rmids: int = 64):
+        if not 0.0 <= decay < 1.0:
+            raise ValueError(f"decay must be in [0, 1), got {decay}")
+        if max_rmids < 1:
+            raise ValueError(f"max_rmids must be >= 1, got {max_rmids}")
+        self.llc_bytes = int(llc_bytes)
+        self.decay = float(decay)
+        self.max_rmids = int(max_rmids)
+        self._rmid_of: dict[int, int] = {}
+        self._pids_of: dict[int, list[int]] = {}
+        self._next_rmid = 1  # RMID 0 is the default/unmonitored group
+        self._fill_ewma: dict[int, float] = {}
+        self._interval_mem: dict[int, int] = {}
+
+    # ---------------------------------------------------------------- groups
+
+    def assign(self, pids, rmid: int | None = None) -> int:
+        """Put ``pids`` into a monitoring group; returns its RMID."""
+        if rmid is None:
+            if self._next_rmid >= self.max_rmids:
+                raise RuntimeError("out of RMIDs")
+            rmid = self._next_rmid
+            self._next_rmid += 1
+        for pid in pids:
+            self._rmid_of[int(pid)] = rmid
+        group = self._pids_of.setdefault(rmid, [])
+        group.extend(int(p) for p in pids if int(p) not in group)
+        self._fill_ewma.setdefault(rmid, 0.0)
+        self._interval_mem.setdefault(rmid, 0)
+        return rmid
+
+    def rmid_of(self, pid: int) -> int:
+        """The RMID a PID reports under (0 if unassigned)."""
+        return self._rmid_of.get(int(pid), 0)
+
+    # ------------------------------------------------------------- observing
+
+    def observe(self, pids: np.ndarray, mem_mask: np.ndarray) -> None:
+        """Account one executed batch's memory traffic per RMID.
+
+        ``mem_mask`` marks accesses that missed the LLC (each one both
+        fills a line and moves LINE_SIZE bytes of memory traffic).
+        """
+        pids = np.asarray(pids)
+        mem_mask = np.asarray(mem_mask, dtype=bool)
+        if not mem_mask.any():
+            return
+        mem_pids = pids[mem_mask]
+        for pid in np.unique(mem_pids):
+            rmid = self.rmid_of(int(pid))
+            if rmid == 0:
+                continue
+            n = int(np.count_nonzero(mem_pids == pid))
+            self._interval_mem[rmid] = self._interval_mem.get(rmid, 0) + n
+
+    # --------------------------------------------------------------- reading
+
+    def read_and_reset(self) -> dict[int, RMIDReading]:
+        """Interval read: occupancy estimates and bandwidth, then reset."""
+        total_fills = sum(self._interval_mem.values())
+        out: dict[int, RMIDReading] = {}
+        for rmid, pids in self._pids_of.items():
+            fills = self._interval_mem.get(rmid, 0)
+            self._fill_ewma[rmid] = (
+                self.decay * self._fill_ewma.get(rmid, 0.0) + (1 - self.decay) * fills
+            )
+            # Occupancy: this group's decayed share of recent fills,
+            # scaled to LLC capacity (bounded by what it could install).
+            ewma_total = sum(self._fill_ewma.values()) or 1.0
+            share = self._fill_ewma[rmid] / ewma_total if total_fills or ewma_total else 0.0
+            occupancy = min(
+                share * self.llc_bytes, self._fill_ewma[rmid] * LINE_SIZE
+            )
+            out[rmid] = RMIDReading(
+                rmid=rmid,
+                pids=tuple(pids),
+                llc_occupancy_bytes=float(occupancy),
+                mbm_bytes=fills * LINE_SIZE,
+            )
+            self._interval_mem[rmid] = 0
+        return out

@@ -1,0 +1,182 @@
+"""Shared machinery for hardware trace samplers (IBS and PEBS).
+
+Both vendors' mechanisms share a shape: a hardware counter ticks on some
+population (retired micro-ops for IBS, a precise event such as LLC
+misses for PEBS); every time it reaches the programmed period the
+current instruction is *tagged*, a record with addresses and
+cache/TLB status is deposited into a kernel buffer, and a buffer-full
+condition interrupts the OS so the driver can drain it (§II-B,
+§III-B.1).
+
+The samplers are fed per-batch by the machine with the already-computed
+per-access metadata, select sample positions vectorized, and maintain
+the inter-batch counter phase so sampling is exact across batch
+boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .events import AccessBatch, SampleBatch, concat_samples
+
+__all__ = ["SamplerStats", "TraceSampler", "DEFAULT_IBS_PERIOD"]
+
+#: The paper's default IBS rate: one sample out of every 256 Ki ops.
+DEFAULT_IBS_PERIOD = 262_144
+
+
+@dataclass
+class SamplerStats:
+    """Cumulative sampler event counters."""
+
+    population: int = 0  # ops (IBS) or events (PEBS) seen
+    samples: int = 0
+    interrupts: int = 0
+    dropped: int = 0  # samples lost to buffer overrun while unserviced
+
+
+class TraceSampler:
+    """Base sampler: period counting, ring buffer, interrupt accounting.
+
+    Parameters
+    ----------
+    period:
+        Sample one element out of every ``period`` of the counted
+        population.
+    buffer_records:
+        Kernel ring-buffer capacity; each fill costs one interrupt and
+        (in the cost model) one drain by the TMP driver.
+    enabled:
+        Samplers can be toggled by TMP's HWPC gating at run time.
+    """
+
+    def __init__(
+        self,
+        period: int = DEFAULT_IBS_PERIOD,
+        buffer_records: int = 4096,
+        jitter: float = 0.0,
+        jitter_seed: int = 0x1B5,
+    ):
+        if period < 1:
+            raise ValueError(f"period must be >= 1, got {period}")
+        if buffer_records < 1:
+            raise ValueError(f"buffer_records must be >= 1, got {buffer_records}")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {jitter}")
+        self.period = int(period)
+        self.buffer_records = int(buffer_records)
+        #: Period randomization: each inter-sample gap is drawn uniformly
+        #: from ``[period*(1-jitter), period*(1+jitter)]``.  Real IBS
+        #: randomizes the low bits of its current-count register for
+        #: exactly this reason — strict periodic sampling aliases with
+        #: loop-structured code and systematically over/under-samples
+        #: phase-locked accesses.  0 disables (deterministic lockstep).
+        self.jitter = float(jitter)
+        self._rng = np.random.default_rng(jitter_seed)
+        self.enabled = True
+        self.stats = SamplerStats()
+        self._countdown = self._next_gap()  # population items until next tag
+        self._pending: list[SampleBatch] = []
+        self._pending_n = 0
+
+    def _next_gap(self) -> int:
+        if self.jitter <= 0.0:
+            return self.period
+        lo = max(1, int(round(self.period * (1 - self.jitter))))
+        hi = max(lo, int(round(self.period * (1 + self.jitter))))
+        return int(self._rng.integers(lo, hi + 1))
+
+    def set_period(self, period: int) -> None:
+        """Reprogram the sampling period (takes effect immediately)."""
+        if period < 1:
+            raise ValueError(f"period must be >= 1, got {period}")
+        self.period = int(period)
+        self._countdown = min(self._countdown, self._next_gap())
+
+    def _select(self, n_population: int) -> np.ndarray:
+        """Positions (0-based, within the population) that get tagged."""
+        self.stats.population += n_population
+        if not self.enabled or n_population == 0:
+            # Hardware disabled: counter does not tick.
+            return np.zeros(0, dtype=np.intp)
+        if self.jitter <= 0.0:
+            first = self._countdown - 1
+            if first >= n_population:
+                self._countdown -= n_population
+                return np.zeros(0, dtype=np.intp)
+            picks = np.arange(first, n_population, self.period, dtype=np.intp)
+            consumed_after_last = n_population - 1 - int(picks[-1])
+            self._countdown = self.period - consumed_after_last
+            return picks
+        # Jittered mode: walk gap by gap (cheap — gaps are large).
+        picks_list: list[int] = []
+        pos = self._countdown - 1
+        while pos < n_population:
+            picks_list.append(pos)
+            pos += self._next_gap()
+        self._countdown = pos - n_population + 1
+        return np.asarray(picks_list, dtype=np.intp)
+
+    def _deposit(self, samples: SampleBatch) -> None:
+        """Append records to the kernel buffer, raising interrupts on fills."""
+        if samples.n == 0:
+            return
+        self.stats.samples += samples.n
+        before = self._pending_n
+        self._pending.append(samples)
+        self._pending_n += samples.n
+        # Integer number of complete buffer fills crossed by this deposit.
+        self.stats.interrupts += (
+            self._pending_n // self.buffer_records - before // self.buffer_records
+        )
+
+    def drain(self) -> SampleBatch:
+        """Drain the kernel buffer (the TMP driver's periodic poll)."""
+        out = concat_samples(self._pending)
+        self._pending = []
+        self._pending_n = 0
+        return out
+
+    @property
+    def pending(self) -> int:
+        """Records currently sitting in the kernel buffer."""
+        return self._pending_n
+
+    # Subclasses override:
+    def observe(
+        self,
+        batch: AccessBatch,
+        *,
+        op_base: int,
+        paddr: np.ndarray,
+        tlb_hit: np.ndarray,
+        data_source: np.ndarray,
+    ) -> None:
+        """Feed one executed batch with its per-access metadata."""
+        raise NotImplementedError
+
+    def _records_at(
+        self,
+        batch: AccessBatch,
+        picks: np.ndarray,
+        *,
+        op_base: int,
+        paddr: np.ndarray,
+        tlb_hit: np.ndarray,
+        data_source: np.ndarray,
+    ) -> SampleBatch:
+        """Build sample records for batch positions ``picks``."""
+        return SampleBatch(
+            op_idx=np.uint64(op_base) + picks.astype(np.uint64),
+            cpu=batch.cpu[picks],
+            pid=batch.pid[picks],
+            ip=batch.ip[picks],
+            vaddr=batch.vaddr[picks],
+            paddr=paddr[picks],
+            is_store=batch.is_store[picks],
+            tlb_hit=tlb_hit[picks],
+            data_source=data_source[picks],
+        )

@@ -1,0 +1,220 @@
+"""Translation lookaside buffer model.
+
+The TLB is the pivot of the paper's A-bit mechanics: the hardware
+page-table walker only runs — and only sets PTE accessed bits — on TLB
+*misses*.  When the A-bit driver clears accessed bits without a
+shootdown (the paper's default, §III-B.4), translations still resident
+in the TLB keep servicing accesses without walks, so the A bit stays
+stale until natural eviction.  Modeling that window requires a TLB whose
+state persists across profiler scan intervals, which this class
+provides.
+
+Entries are tagged ``(pid, vpn)`` (PID plays the role of the ASID), so
+no flush is needed on simulated context switches and per-PID shootdowns
+are possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .address import ADDR_DTYPE
+from .vecsim import make_engine
+
+__all__ = ["TLB", "TLBArray", "TLBStats"]
+
+_PID_SHIFT = ADDR_DTYPE(48)
+_VPN_MASK = ADDR_DTYPE((1 << 48) - 1)
+
+
+def _keys(pids: np.ndarray, vpns: np.ndarray) -> np.ndarray:
+    """Pack (pid, vpn) pairs into single uint64 tags, vpn in low bits."""
+    return (pids.astype(ADDR_DTYPE) << _PID_SHIFT) | (
+        vpns.astype(ADDR_DTYPE) & _VPN_MASK
+    )
+
+
+@dataclass
+class TLBStats:
+    """Cumulative TLB event counters."""
+
+    lookups: int = 0
+    hits: int = 0
+    shootdowns: int = 0
+    entries_invalidated: int = 0
+    ipis: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.lookups - self.hits
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.lookups if self.lookups else 0.0
+
+
+class TLB:
+    """A data TLB shared by all simulated cores.
+
+    Parameters
+    ----------
+    entries:
+        Total capacity in translations (power of two).
+    ways:
+        Associativity; the default direct-mapped engine is exact and
+        vectorized, ``exact_assoc=True`` selects the sequential
+        LRU reference engine.
+    n_cpus:
+        Used only for shootdown IPI accounting (one IPI per remote CPU
+        per shootdown, as on x86).
+    """
+
+    def __init__(
+        self,
+        entries: int = 1536,
+        ways: int = 1,
+        *,
+        exact_assoc: bool = False,
+        n_cpus: int = 6,
+    ):
+        # Round down to a power of two so capacity-equivalent configs
+        # (e.g. the Ryzen 3600X's 64 + 2048-entry L1/L2 dTLBs) can be
+        # requested loosely.
+        cap = 1 << (int(entries).bit_length() - 1)
+        if cap != entries:
+            entries = cap
+        self._engine = make_engine(entries, ways, exact_assoc=exact_assoc)
+        self.entries = entries
+        self.n_cpus = n_cpus
+        self.stats = TLBStats()
+
+    def access(self, pids: np.ndarray, vpns: np.ndarray) -> np.ndarray:
+        """Look up a batch of translations in order; return hit mask.
+
+        Misses install their translation (the walker's fill).
+        """
+        keys = _keys(np.asarray(pids), np.asarray(vpns))
+        hits = self._engine.access(keys)
+        self.stats.lookups += int(keys.size)
+        self.stats.hits += int(np.count_nonzero(hits))
+        return hits
+
+    def contains(self, pids: np.ndarray, vpns: np.ndarray) -> np.ndarray:
+        """Non-mutating residency probe."""
+        return self._engine.contains(_keys(np.asarray(pids), np.asarray(vpns)))
+
+    # ------------------------------------------------------------ shootdowns
+
+    def _account_shootdown(self, invalidated: int) -> None:
+        self.stats.shootdowns += 1
+        self.stats.entries_invalidated += invalidated
+        self.stats.ipis += self.n_cpus - 1
+
+    def shootdown_all(self) -> None:
+        """Full TLB flush on every CPU (one IPI round)."""
+        n = self._engine.occupancy()
+        self._engine.flush()
+        self._account_shootdown(n)
+
+    def shootdown_pid(self, pid: int) -> None:
+        """Invalidate all translations belonging to ``pid``."""
+        p = ADDR_DTYPE(pid)
+        n = self._engine.flush_where(lambda tags: (tags >> _PID_SHIFT) == p)
+        self._account_shootdown(n)
+
+    def shootdown_pages(self, pids: np.ndarray, vpns: np.ndarray) -> None:
+        """Invalidate specific translations (one IPI round for the batch).
+
+        This models the epoch-batched shootdown the paper's page mover
+        relies on: migrating many pages costs a *single* system-wide
+        shootdown (§IV step 2 reason 1).
+        """
+        n = self._engine.flush_keys(_keys(np.asarray(pids), np.asarray(vpns)))
+        self._account_shootdown(n)
+
+    def occupancy(self) -> int:
+        """Number of live translations."""
+        return self._engine.occupancy()
+
+
+class TLBArray:
+    """Per-CPU private TLBs, as on every real multicore.
+
+    Lookups are routed to the issuing CPU's TLB; shootdowns broadcast
+    to every TLB (that is precisely why they cost IPIs).  Aggregate
+    statistics are summed over CPUs, with shootdown rounds counted once
+    (one IPI round invalidates on all CPUs).
+    """
+
+    def __init__(
+        self,
+        n_cpus: int = 6,
+        entries: int = 1536,
+        ways: int = 1,
+        *,
+        exact_assoc: bool = False,
+    ):
+        if n_cpus < 1:
+            raise ValueError(f"n_cpus must be >= 1, got {n_cpus}")
+        self.n_cpus = n_cpus
+        self.cpus = [
+            TLB(entries=entries, ways=ways, exact_assoc=exact_assoc, n_cpus=n_cpus)
+            for _ in range(n_cpus)
+        ]
+        self.entries = self.cpus[0].entries
+        self.stats = TLBStats()
+
+    def access(
+        self, pids: np.ndarray, vpns: np.ndarray, cpus: np.ndarray
+    ) -> np.ndarray:
+        """Route each access to its CPU's TLB; return the global hit mask."""
+        pids = np.asarray(pids)
+        vpns = np.asarray(vpns)
+        folded = np.asarray(cpus) % self.n_cpus
+        hits = np.empty(vpns.size, dtype=bool)
+        for cpu in np.unique(folded):
+            m = folded == cpu
+            hits[m] = self.cpus[int(cpu)].access(pids[m], vpns[m])
+        self.stats.lookups += int(vpns.size)
+        self.stats.hits += int(np.count_nonzero(hits))
+        return hits
+
+    def contains(self, pids: np.ndarray, vpns: np.ndarray) -> np.ndarray:
+        """True where *any* CPU's TLB holds the translation."""
+        out = np.zeros(np.asarray(vpns).size, dtype=bool)
+        for t in self.cpus:
+            out |= t.contains(pids, vpns)
+        return out
+
+    def _account(self, invalidated: int) -> None:
+        self.stats.shootdowns += 1
+        self.stats.entries_invalidated += invalidated
+        self.stats.ipis += self.n_cpus - 1
+
+    def shootdown_all(self) -> None:
+        """Flush every CPU's TLB (one IPI round)."""
+        n = sum(t.occupancy() for t in self.cpus)
+        for t in self.cpus:
+            t._engine.flush()
+        self._account(n)
+
+    def shootdown_pid(self, pid: int) -> None:
+        """Invalidate one PID's translations on every CPU."""
+        p = ADDR_DTYPE(pid)
+        n = sum(
+            t._engine.flush_where(lambda tags: (tags >> _PID_SHIFT) == p)
+            for t in self.cpus
+        )
+        self._account(n)
+
+    def shootdown_pages(self, pids: np.ndarray, vpns: np.ndarray) -> None:
+        """Invalidate specific translations everywhere (one IPI round)."""
+        keys = _keys(np.asarray(pids), np.asarray(vpns))
+        n = sum(t._engine.flush_keys(keys) for t in self.cpus)
+        self._account(n)
+
+    def occupancy(self) -> int:
+        """Live translations summed over CPUs."""
+        return sum(t.occupancy() for t in self.cpus)

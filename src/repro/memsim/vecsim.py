@@ -1,0 +1,276 @@
+"""Lookup-structure engines shared by the TLB and cache models.
+
+Two engines implement the same ``access`` contract:
+
+``VectorDirectMapped``
+    An *exact*, fully vectorized direct-mapped structure.  Hot paths in
+    the benchmarks use this engine: a batch of accesses is resolved with
+    a single stable sort (``O(n log n)`` numpy work, no Python loop).
+
+``SequentialSetAssoc``
+    A reference set-associative LRU structure processed one access at a
+    time.  With ``ways=1`` it is semantically identical to
+    ``VectorDirectMapped``; property tests cross-check the two.
+
+Both engines are *stateful* across batches — essential for the paper's
+no-shootdown A-bit semantics, where a translation that stays resident in
+the TLB suppresses page-walks (and therefore A-bit re-sets) across scan
+intervals.
+
+Keys are ``uint64`` identities (e.g. ``pid << 48 | vpn`` for a TLB,
+physical line number for a cache).  The set index is taken from the low
+bits of the key, so callers should place the locality-carrying bits
+(vpn / line number) at the bottom.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .address import ADDR_DTYPE, is_pow2
+
+__all__ = ["VectorDirectMapped", "SequentialSetAssoc", "make_engine"]
+
+
+class VectorDirectMapped:
+    """Exact direct-mapped lookup structure with vectorized batch access.
+
+    Parameters
+    ----------
+    nsets:
+        Number of sets (must be a power of two); equals total capacity
+        in entries since the structure is direct-mapped.
+    """
+
+    ways = 1
+
+    def __init__(self, nsets: int):
+        if not is_pow2(nsets):
+            raise ValueError(f"nsets must be a power of two, got {nsets}")
+        self.nsets = nsets
+        self._mask = ADDR_DTYPE(nsets - 1)
+        self._tags = np.zeros(nsets, dtype=ADDR_DTYPE)
+        self._valid = np.zeros(nsets, dtype=bool)
+
+    @property
+    def capacity(self) -> int:
+        """Total number of entries the structure can hold."""
+        return self.nsets
+
+    def flush(self) -> None:
+        """Invalidate every entry (full shootdown)."""
+        self._valid[:] = False
+
+    def flush_where(self, predicate) -> int:
+        """Invalidate entries whose tag satisfies ``predicate``.
+
+        ``predicate`` maps an array of tags to a boolean mask.  Returns
+        the number of entries invalidated.  Used for per-PID and
+        per-page shootdowns.
+        """
+        doomed = self._valid & predicate(self._tags)
+        n = int(np.count_nonzero(doomed))
+        self._valid[doomed] = False
+        return n
+
+    def flush_keys(self, keys: np.ndarray) -> int:
+        """Invalidate entries matching any of ``keys`` exactly."""
+        keys = np.asarray(keys, dtype=ADDR_DTYPE)
+        if keys.size == 0:
+            return 0
+        sets = (keys & self._mask).astype(np.intp)
+        doomed = self._valid[sets] & (self._tags[sets] == keys)
+        idx = sets[doomed]
+        n = int(np.unique(idx).size)
+        self._valid[idx] = False
+        return n
+
+    def contains(self, keys: np.ndarray) -> np.ndarray:
+        """Non-mutating membership probe for ``keys``."""
+        keys = np.asarray(keys, dtype=ADDR_DTYPE)
+        sets = (keys & self._mask).astype(np.intp)
+        return self._valid[sets] & (self._tags[sets] == keys)
+
+    def access(self, keys: np.ndarray) -> np.ndarray:
+        """Resolve a batch of accesses in order; return the hit mask.
+
+        Each miss installs its key, evicting the set's previous
+        occupant, exactly as a sequential direct-mapped structure
+        would.  The final resident state after the batch matches the
+        sequential semantics as well.
+        """
+        keys = np.ascontiguousarray(keys, dtype=ADDR_DTYPE)
+        n = keys.size
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+
+        sets = (keys & self._mask).astype(np.intp)
+        # Stable sort groups accesses by set while preserving program
+        # order within each set.
+        order = np.argsort(sets, kind="stable")
+        s_sets = sets[order]
+        s_keys = keys[order]
+
+        run_start = np.empty(n, dtype=bool)
+        run_start[0] = True
+        np.not_equal(s_sets[1:], s_sets[:-1], out=run_start[1:])
+
+        hit_sorted = np.empty(n, dtype=bool)
+        # Within a run: hit iff the immediately preceding access to the
+        # same set used the same key (direct-mapped ⇒ single occupant).
+        hit_sorted[1:] = (~run_start[1:]) & (s_keys[1:] == s_keys[:-1])
+        hit_sorted[0] = False
+        # First access of each run consults the carried-in state.
+        first_idx = np.flatnonzero(run_start)
+        fs = s_sets[first_idx]
+        hit_sorted[first_idx] = self._valid[fs] & (self._tags[fs] == s_keys[first_idx])
+
+        # Carry-out: the last access of each run is the set's new occupant.
+        last_idx = np.empty(first_idx.size, dtype=np.intp)
+        last_idx[:-1] = first_idx[1:] - 1
+        last_idx[-1] = n - 1
+        ls = s_sets[last_idx]
+        self._tags[ls] = s_keys[last_idx]
+        self._valid[ls] = True
+
+        hits = np.empty(n, dtype=bool)
+        hits[order] = hit_sorted
+        return hits
+
+    def fill(self, keys: np.ndarray) -> None:
+        """Install ``keys`` without hit/miss semantics (refill path).
+
+        When the same set appears multiple times, the latest key in
+        batch order wins — matching sequential fill order.
+        """
+        keys = np.asarray(keys, dtype=ADDR_DTYPE)
+        if keys.size == 0:
+            return
+        sets = (keys & self._mask).astype(np.intp)
+        # Keep only the last occurrence of each set.
+        _, last = np.unique(sets[::-1], return_index=True)
+        pick = keys.size - 1 - last
+        self._tags[sets[pick]] = keys[pick]
+        self._valid[sets[pick]] = True
+
+    def occupancy(self) -> int:
+        """Number of currently valid entries."""
+        return int(np.count_nonzero(self._valid))
+
+
+class SequentialSetAssoc:
+    """Reference set-associative structure with true-LRU replacement.
+
+    Processed one access at a time in Python; use for unit tests,
+    fidelity studies, and small traces.  ``ways=1`` reproduces
+    ``VectorDirectMapped`` exactly.
+    """
+
+    def __init__(self, nsets: int, ways: int):
+        if not is_pow2(nsets):
+            raise ValueError(f"nsets must be a power of two, got {nsets}")
+        if ways < 1:
+            raise ValueError(f"ways must be >= 1, got {ways}")
+        self.nsets = nsets
+        self.ways = ways
+        self._mask = nsets - 1
+        # Each set is a list of keys ordered MRU-first.
+        self._sets: list[list[int]] = [[] for _ in range(nsets)]
+
+    @property
+    def capacity(self) -> int:
+        """Total number of entries the structure can hold."""
+        return self.nsets * self.ways
+
+    def flush(self) -> None:
+        """Invalidate every entry (full shootdown)."""
+        for s in self._sets:
+            s.clear()
+
+    def flush_where(self, predicate) -> int:
+        """Invalidate entries whose tag satisfies ``predicate``."""
+        n = 0
+        for i, s in enumerate(self._sets):
+            if not s:
+                continue
+            keep_mask = ~predicate(np.asarray(s, dtype=ADDR_DTYPE))
+            kept = [k for k, keep in zip(s, keep_mask) if keep]
+            n += len(s) - len(kept)
+            self._sets[i] = kept
+        return n
+
+    def flush_keys(self, keys: np.ndarray) -> int:
+        """Invalidate entries matching any of ``keys`` exactly."""
+        doomed = {int(k) for k in np.asarray(keys, dtype=ADDR_DTYPE)}
+        n = 0
+        for i, s in enumerate(self._sets):
+            kept = [k for k in s if k not in doomed]
+            n += len(s) - len(kept)
+            self._sets[i] = kept
+        return n
+
+    def contains(self, keys: np.ndarray) -> np.ndarray:
+        """Non-mutating membership probe for ``keys``."""
+        keys = np.asarray(keys, dtype=ADDR_DTYPE)
+        out = np.zeros(keys.size, dtype=bool)
+        for i, k in enumerate(keys):
+            out[i] = int(k) in self._sets[int(k) & self._mask]
+        return out
+
+    def access_one(self, key: int) -> bool:
+        """Resolve a single access; return True on hit."""
+        key = int(key)
+        s = self._sets[key & self._mask]
+        try:
+            s.remove(key)
+            hit = True
+        except ValueError:
+            hit = False
+            if len(s) >= self.ways:
+                s.pop()  # evict LRU (tail)
+        s.insert(0, key)
+        return hit
+
+    def access(self, keys: np.ndarray) -> np.ndarray:
+        """Resolve a batch of accesses in order; return the hit mask."""
+        keys = np.asarray(keys, dtype=ADDR_DTYPE)
+        out = np.empty(keys.size, dtype=bool)
+        access_one = self.access_one
+        for i, k in enumerate(keys):
+            out[i] = access_one(k)
+        return out
+
+    def fill(self, keys: np.ndarray) -> None:
+        """Install ``keys`` without hit/miss accounting (refill path)."""
+        for k in np.asarray(keys, dtype=ADDR_DTYPE):
+            key = int(k)
+            s = self._sets[key & self._mask]
+            if key in s:
+                s.remove(key)
+            elif len(s) >= self.ways:
+                s.pop()
+            s.insert(0, key)
+
+    def occupancy(self) -> int:
+        """Number of currently valid entries."""
+        return sum(len(s) for s in self._sets)
+
+
+def make_engine(capacity_entries: int, ways: int = 1, *, exact_assoc: bool = False):
+    """Build a lookup engine of roughly ``capacity_entries`` entries.
+
+    By default a capacity-equivalent :class:`VectorDirectMapped` engine
+    is returned (the benchmarks' fast path).  Pass ``exact_assoc=True``
+    to get a :class:`SequentialSetAssoc` with the requested
+    associativity instead.
+    """
+    if not is_pow2(capacity_entries):
+        raise ValueError(f"capacity must be a power of two, got {capacity_entries}")
+    if exact_assoc:
+        if capacity_entries % ways:
+            raise ValueError("capacity must be divisible by ways")
+        nsets = capacity_entries // ways
+        if not is_pow2(nsets):
+            raise ValueError("capacity/ways must be a power of two")
+        return SequentialSetAssoc(nsets, ways)
+    return VectorDirectMapped(capacity_entries)

@@ -1,0 +1,127 @@
+"""The page mover: epoch-batched migration between tiers.
+
+§IV steps 2-3: policies hand the mover a *target* fast-tier page set;
+the mover diffs it against the current placement, demotes evicted pages
+and promotes the newcomers, with all of an epoch's moves sharing a
+single system-wide TLB shootdown (the reason the paper gives for
+epoch-based policies in the first place: per-page shootdowns are
+prohibitively expensive).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..memsim.machine import Machine
+from .tiers import TIER1, TIER2, UNPLACED, TieredMemory
+
+__all__ = ["PageMover", "MigrationResult"]
+
+
+@dataclass
+class MigrationResult:
+    """Outcome of one epoch's migration batch."""
+
+    promoted: int  # pages moved tier2 → tier1
+    demoted: int  # pages moved tier1 → tier2
+    shootdowns: int  # TLB shootdown rounds issued (0 or 1 per epoch)
+
+    @property
+    def moved(self) -> int:
+        return self.promoted + self.demoted
+
+
+class PageMover:
+    """Applies policy placement decisions at epoch boundaries."""
+
+    def __init__(
+        self,
+        tm: TieredMemory,
+        machine: Machine | None = None,
+        max_moves_per_epoch: int | None = None,
+    ):
+        self.tm = tm
+        #: When a machine is supplied, migrations issue a real batched
+        #: shootdown so the A-bit stale-entry window resets like the
+        #: kernel's migration path would.
+        self.machine = machine
+        #: Migration budget: at most this many promotions per epoch
+        #: (hottest first); matching demotions are counted against the
+        #: same budget.  ``None`` is unbounded.  Bounds the 50 µs/page
+        #: migration bill when a noisy ranking churns the boundary.
+        self.max_moves_per_epoch = max_moves_per_epoch
+        self.total = MigrationResult(promoted=0, demoted=0, shootdowns=0)
+
+    def apply_target(self, target_tier1: np.ndarray) -> MigrationResult:
+        """Re-place pages so the fast tier holds exactly ``target_tier1``.
+
+        The target is clamped to tier-1 capacity (hottest-first callers
+        should pass a pre-ranked array: the overflow that gets dropped
+        is the coldest tail).  Pages leaving tier 1 demote to tier 2;
+        unplaced targets are placed directly.
+        """
+        tm = self.tm
+        target = np.asarray(target_tier1, dtype=np.int64)
+        cap = tm.tier1.capacity_pages
+        if target.size > cap:
+            target = target[:cap]
+
+        current = tm.tier1_pages()
+        target_mask = np.zeros(tm.n_frames, dtype=bool)
+        target_mask[target] = True
+
+        demote = current[~target_mask[current]]
+        in_tier1 = np.zeros(tm.n_frames, dtype=bool)
+        in_tier1[current] = True
+        promote = target[~in_tier1[target]]
+
+        if (
+            self.max_moves_per_epoch is not None
+            and promote.size > self.max_moves_per_epoch // 2
+        ):
+            # Budget: take the hottest promotions (target is ranked),
+            # and only demote enough residents to make room.
+            keep_n = max(self.max_moves_per_epoch // 2, 0)
+            promote = promote[:keep_n]
+            needed_demotions = max(promote.size - tm.free_pages(TIER1), 0)
+            demote = demote[-needed_demotions:] if needed_demotions else demote[:0]
+
+        if demote.size:
+            tm.tier_of[demote] = TIER2
+        if promote.size:
+            tm.place(promote, TIER1)
+
+        shootdowns = 0
+        if (demote.size or promote.size) and self.machine is not None:
+            # One system-wide shootdown covers the whole batch.
+            self._shootdown_moved(np.concatenate([demote, promote]))
+            shootdowns = 1
+
+        result = MigrationResult(
+            promoted=int(promote.size), demoted=int(demote.size), shootdowns=shootdowns
+        )
+        self.total.promoted += result.promoted
+        self.total.demoted += result.demoted
+        self.total.shootdowns += result.shootdowns
+        return result
+
+    def _shootdown_moved(self, pfns: np.ndarray) -> None:
+        """Invalidate moved pages' translations on every CPU."""
+        pids = []
+        vpns = []
+        for pid, pt in self.machine.page_tables.items():
+            for vma in pt.vmas:
+                lo, hi = vma.pfn_base, vma.pfn_base + vma.npages
+                hit = pfns[(pfns >= lo) & (pfns < hi)]
+                if hit.size:
+                    # TLB tags are mapping-unit heads (2 MiB-aligned
+                    # for THP regions).
+                    unit = (hit - lo) >> vma.page_order << vma.page_order
+                    vpns.append(vma.start_vpn + np.unique(unit))
+                    pids.append(np.full(vpns[-1].size, pid, dtype=np.int32))
+        if vpns:
+            self.machine.tlb.shootdown_pages(
+                np.concatenate(pids), np.concatenate(vpns)
+            )

@@ -1,0 +1,40 @@
+"""Tiered-memory placement policies (Table II plus extensions)."""
+
+from .autonuma import AutoNUMAPolicy
+from .base import Policy, PolicyContext, fill_with_residents
+from .fcfa import FCFAPolicy
+from .history import HistoryPolicy
+from .oracle import OraclePolicy, TrueOraclePolicy
+from .random_policy import RandomPolicy
+from .thermostat import ThermostatPolicy
+from .write_aware import WriteAwarePolicy
+
+#: Name → class registry for benches and examples.
+POLICIES = {
+    p.name: p
+    for p in (
+        OraclePolicy,
+        TrueOraclePolicy,
+        HistoryPolicy,
+        FCFAPolicy,
+        AutoNUMAPolicy,
+        WriteAwarePolicy,
+        ThermostatPolicy,
+        RandomPolicy,
+    )
+}
+
+__all__ = [
+    "AutoNUMAPolicy",
+    "FCFAPolicy",
+    "HistoryPolicy",
+    "OraclePolicy",
+    "TrueOraclePolicy",
+    "POLICIES",
+    "Policy",
+    "PolicyContext",
+    "RandomPolicy",
+    "ThermostatPolicy",
+    "WriteAwarePolicy",
+    "fill_with_residents",
+]

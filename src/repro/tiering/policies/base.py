@@ -1,0 +1,86 @@
+"""Policy interface: rank-driven epoch placement.
+
+§IV step 2: a tiered-memory policy consumes the profiler's page ranking
+(after filtering non-migratable pages) and decides which pages the fast
+tier should hold for the coming epoch.  Policies are epoch-batched by
+construction — Table II's reasons: one shootdown per epoch, and only
+hotness accumulated over a period justifies the migration cost.
+
+Contract: :meth:`target_tier1` returns PFNs hottest-first; the caller
+(the page mover) truncates to capacity from the tail.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...core.hotness import RankSource
+from ...core.page_stats import EpochProfile
+
+__all__ = ["Policy", "PolicyContext", "fill_with_residents"]
+
+
+@dataclass
+class PolicyContext:
+    """Everything a policy may consult at an epoch boundary."""
+
+    epoch: int
+    tier1_capacity: int
+    n_frames: int
+    #: The TMP profile of the *previous* epoch (None at epoch 0) — what
+    #: reactive policies like History see.
+    prev_profile: EpochProfile | None
+    #: The TMP profile of the epoch being placed — what the Oracle sees
+    #: (perfect knowledge of the coming epoch's *profiled* hotness,
+    #: Table II).
+    next_profile: EpochProfile | None
+    #: Ground-truth per-PFN access counts of the *coming* epoch — what
+    #: only the Oracle may touch.
+    true_counts: np.ndarray | None
+    #: Ground-truth memory-access (LLC-miss) counts of the coming epoch.
+    true_mem_counts: np.ndarray | None
+    #: PFNs currently resident in tier 1 (post first-touch placement).
+    current_tier1: np.ndarray
+    #: Which profiling source(s) feed reactive policies' rank.
+    rank_source: RankSource = RankSource.COMBINED
+    #: Migratability mask (None = everything migratable).
+    eligible: np.ndarray | None = None
+    #: PFNs whose D bit transitioned this epoch (PML write set), for
+    #: write-aware policy variants.
+    dirty_pages: np.ndarray | None = None
+    #: Per-PFN TLB-miss counts of the epoch being placed — what a
+    #: BadgerTrap/Thermostat-style fault interceptor observes exactly.
+    tlb_miss_counts: np.ndarray | None = None
+
+
+def fill_with_residents(target: np.ndarray, ctx: PolicyContext) -> np.ndarray:
+    """Pad a hot-page target with current residents up to capacity.
+
+    Demoting a page nobody ranked is pure migration cost, so unused
+    capacity keeps its current occupants (stable placement).
+    """
+    target = np.asarray(target, dtype=np.int64)
+    room = ctx.tier1_capacity - target.size
+    if room <= 0:
+        return target[: ctx.tier1_capacity]
+    in_target = np.zeros(ctx.n_frames, dtype=bool)
+    in_target[target] = True
+    keep = ctx.current_tier1[~in_target[ctx.current_tier1]][:room]
+    return np.concatenate([target, keep])
+
+
+class Policy(ABC):
+    """Base class for placement policies."""
+
+    #: Registry/display name; subclasses override.
+    name: str = "abstract"
+
+    @abstractmethod
+    def target_tier1(self, ctx: PolicyContext) -> np.ndarray:
+        """PFNs the fast tier should hold next, hottest first."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

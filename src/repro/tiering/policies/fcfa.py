@@ -1,0 +1,25 @@
+"""First-come-first-allocate: the do-nothing baseline.
+
+The paper's speedup comparison baseline (§VI-C): a NUMA-like policy
+that fills fast memory in first-touch order and never migrates.
+Placement of new pages is handled by
+:func:`repro.tiering.placement.fcfa_place_new`; at epoch boundaries the
+policy simply keeps whatever tier 1 currently holds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Policy, PolicyContext
+
+__all__ = ["FCFAPolicy"]
+
+
+class FCFAPolicy(Policy):
+    """First-touch fill, no migration, ever."""
+
+    name = "fcfa"
+
+    def target_tier1(self, ctx: PolicyContext) -> np.ndarray:
+        return np.asarray(ctx.current_tier1, dtype=np.int64)

@@ -1,0 +1,88 @@
+"""The History policy (Table II).
+
+Simple and practical: at the start of each epoch, bring the *previous*
+epoch's hottest pages into tier 1.  Hotness comes from the profiler's
+rank — which monitoring sources feed it is the experiment axis of
+Fig. 6 (A-bit only / trace only / TMP combined).  History lags the
+Oracle whenever access patterns shift between epochs (Monte Carlo /
+randomized workloads), which is precisely the gap Fig. 6 shows.
+
+Because trace sampling is sparse, a single epoch's rank is noisy at the
+placement boundary; §IV step 2 motivates "hotness rankings accumulated
+over a period of time", so the policy optionally keeps an exponential
+moving average of epoch ranks (``smoothing`` = weight of the
+accumulated history).  The default of 0 is the faithful, memoryless
+Table II History; ``smoothing > 0`` is the rank-accumulation extension
+evaluated in the ablation bench.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core.hotness import hotness_rank, top_k_pages
+from .base import Policy, PolicyContext, fill_with_residents
+
+__all__ = ["HistoryPolicy"]
+
+
+class HistoryPolicy(Policy):
+    """Last epoch's hottest pages, by (smoothed) profiled rank."""
+
+    name = "history"
+
+    def __init__(
+        self,
+        abit_weight: float = 1.0,
+        trace_weight: float = 1.0,
+        smoothing: float = 0.0,
+        resident_bonus: float = 0.0,
+        min_rank: float = 0.0,
+    ):
+        if not 0.0 <= smoothing < 1.0:
+            raise ValueError(f"smoothing must be in [0, 1), got {smoothing}")
+        if resident_bonus < 0.0:
+            raise ValueError(f"resident_bonus must be >= 0, got {resident_bonus}")
+        if min_rank < 0.0:
+            raise ValueError(f"min_rank must be >= 0, got {min_rank}")
+        self.abit_weight = abit_weight
+        self.trace_weight = trace_weight
+        self.smoothing = smoothing
+        #: Hysteresis: tier-1 residents' ranks are boosted by this
+        #: factor, so a challenger must beat a resident by the margin
+        #: before a migration is worth its 50 µs (anti-thrash; §IV step
+        #: 2's "justify the migration cost" requirement).
+        self.resident_bonus = resident_bonus
+        #: Promotion threshold: pages ranking below this are not worth
+        #: a migration (a one-sample page's expected fault savings do
+        #: not cover the 50 µs move).  Residents are unaffected.
+        self.min_rank = min_rank
+        self._ema: np.ndarray | None = None
+
+    def target_tier1(self, ctx: PolicyContext) -> np.ndarray:
+        if ctx.prev_profile is None:
+            # Nothing profiled yet: keep the first-touch placement.
+            return ctx.current_tier1[: ctx.tier1_capacity]
+        rank = hotness_rank(
+            ctx.prev_profile,
+            ctx.rank_source,
+            abit_weight=self.abit_weight,
+            trace_weight=self.trace_weight,
+        )
+        if rank.size < ctx.n_frames:
+            rank = np.pad(rank, (0, ctx.n_frames - rank.size))
+        if self.smoothing > 0.0:
+            if self._ema is None:
+                self._ema = rank.astype(np.float64)
+            else:
+                if self._ema.size < rank.size:
+                    self._ema = np.pad(self._ema, (0, rank.size - self._ema.size))
+                self._ema = self.smoothing * self._ema + (1 - self.smoothing) * rank
+            rank = self._ema
+        if self.min_rank > 0.0:
+            rank = np.where(rank >= self.min_rank, rank, 0.0)
+        if self.resident_bonus > 0.0 and ctx.current_tier1.size:
+            rank = rank.copy()
+            rank[ctx.current_tier1] *= 1.0 + self.resident_bonus
+        hot = top_k_pages(rank, ctx.tier1_capacity, eligible=ctx.eligible)
+        return fill_with_residents(hot, ctx)

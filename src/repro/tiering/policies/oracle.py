@@ -1,0 +1,71 @@
+"""The Oracle policy (Table II).
+
+"Assumes knowledge of how many times each page will be accessed in the
+coming epoch and brings in the hottest pages at the start of the epoch
+— the upper limit for policy design."
+
+Crucially, the paper's Fig. 6 evaluates the Oracle *per profiling
+source*: its knowledge is the coming epoch's **profiled** hotness
+(A-bit alone, IBS alone, or TMP's combination), which is how better
+monitoring data improves even the Oracle — the paper's central result
+(up to ~70 % hitrate gain for combined data).  :class:`OraclePolicy`
+implements exactly that.
+
+:class:`TrueOraclePolicy` is the stronger extension that peeks at the
+machine's ground-truth access counts — an upper bound on *any*
+profiler, useful for quantifying how much visibility profiling still
+leaves on the table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core.hotness import hotness_rank, top_k_pages
+from .base import Policy, PolicyContext, fill_with_residents
+
+__all__ = ["OraclePolicy", "TrueOraclePolicy"]
+
+
+class OraclePolicy(Policy):
+    """Perfect knowledge of the coming epoch's *profiled* hotness."""
+
+    name = "oracle"
+
+    def target_tier1(self, ctx: PolicyContext) -> np.ndarray:
+        if ctx.next_profile is None:
+            raise ValueError(
+                "OraclePolicy requires the coming epoch's profile in the context"
+            )
+        rank = hotness_rank(ctx.next_profile, ctx.rank_source)
+        if rank.size < ctx.n_frames:
+            rank = np.pad(rank, (0, ctx.n_frames - rank.size))
+        hot = top_k_pages(rank, ctx.tier1_capacity, eligible=ctx.eligible)
+        return fill_with_residents(hot, ctx)
+
+
+class TrueOraclePolicy(Policy):
+    """Ground-truth upper bound: ranks by the machine's real counts.
+
+    Stronger than any profiler-fed policy; the gap between this and
+    :class:`OraclePolicy` measures the visibility a monitoring source
+    still loses.
+    """
+
+    name = "true-oracle"
+
+    def __init__(self, use_mem_counts: bool = True):
+        self.use_mem_counts = use_mem_counts
+
+    def target_tier1(self, ctx: PolicyContext) -> np.ndarray:
+        counts = ctx.true_mem_counts if self.use_mem_counts else ctx.true_counts
+        if counts is None:
+            counts = ctx.true_counts
+        if counts is None:
+            raise ValueError(
+                "TrueOraclePolicy requires ground-truth counts in the context"
+            )
+        hot = top_k_pages(
+            counts.astype(np.float64), ctx.tier1_capacity, eligible=ctx.eligible
+        )
+        return fill_with_residents(hot, ctx)

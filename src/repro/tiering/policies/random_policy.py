@@ -1,0 +1,33 @@
+"""Random placement: the floor baseline for sanity checks.
+
+Fills tier 1 with a uniformly random sample of *all* frames each epoch
+— no profiling signal whatsoever.  Any profiling-driven policy should
+comfortably beat this; tests use it to confirm rankings carry real
+signal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Policy, PolicyContext
+
+__all__ = ["RandomPolicy"]
+
+
+class RandomPolicy(Policy):
+    """Uniformly random tier-1 contents (seeded)."""
+
+    name = "random"
+
+    def target_tier1(self, ctx: PolicyContext) -> np.ndarray:
+        candidates = np.arange(ctx.n_frames, dtype=np.int64)
+        if ctx.eligible is not None:
+            candidates = candidates[ctx.eligible]
+        if candidates.size <= ctx.tier1_capacity:
+            return candidates
+        pick = self._rng.choice(candidates, size=ctx.tier1_capacity, replace=False)
+        return np.sort(pick)
+
+    def __init__(self, seed: int = 0):
+        self._rng = np.random.default_rng(seed)

@@ -1,0 +1,46 @@
+"""Thermostat-style placement: rank pages by intercepted TLB misses.
+
+Thermostat (Agarwal & Wenisch, ASPLOS'17) classifies pages hot or cold
+by intercepting TLB misses with BadgerTrap and treating the per-page
+fault count as an access-count proxy.  The paper's §II-B critique —
+which this policy lets you *measure* — is that TLB misses and cache
+misses to a page need not agree: a page whose translation thrashes the
+TLB but whose data sits in the LLC gains nothing from fast memory, and
+a page with huge in-page locality (one translation, endless cache
+misses) is invisible to the fault counter.
+
+Like History, the policy is reactive: it places the pages that
+TLB-missed most in the *previous* epoch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core.hotness import top_k_pages
+from .base import Policy, PolicyContext, fill_with_residents
+
+__all__ = ["ThermostatPolicy"]
+
+
+class ThermostatPolicy(Policy):
+    """Previous epoch's most TLB-missing pages go to tier 1."""
+
+    name = "thermostat"
+
+    def __init__(self):
+        self._prev_tlb: np.ndarray | None = None
+
+    def target_tier1(self, ctx: PolicyContext) -> np.ndarray:
+        prev = self._prev_tlb
+        if ctx.tlb_miss_counts is not None:
+            cur = np.asarray(ctx.tlb_miss_counts, dtype=np.float64)
+            if cur.size < ctx.n_frames:
+                cur = np.pad(cur, (0, ctx.n_frames - cur.size))
+            self._prev_tlb = cur
+        if prev is None:
+            return ctx.current_tier1[: ctx.tier1_capacity]
+        if prev.size < ctx.n_frames:
+            prev = np.pad(prev, (0, ctx.n_frames - prev.size))
+        hot = top_k_pages(prev, ctx.tier1_capacity, eligible=ctx.eligible)
+        return fill_with_residents(hot, ctx)

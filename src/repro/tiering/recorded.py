@@ -1,0 +1,281 @@
+"""Record once, evaluate policies offline — the paper's Fig. 6 method.
+
+"The results are based on the profiling data from the real hardware"
+(§VI-C): the paper collects each workload's profiles once, then
+computes policy hitrates offline for every (policy, monitoring source,
+tier ratio) combination.  We do the same: :func:`record_run` executes
+the workload on the machine once, capturing per-epoch TMP profiles and
+ground truth; :func:`evaluate_recorded` then replays placement
+decisions against the recording — two orders of magnitude cheaper than
+re-simulating the machine per configuration, and guaranteed to compare
+policies on *identical* access streams.
+
+The one fidelity loss versus :class:`~repro.tiering.simulator
+.TieredSimulator` (the online loop): migrations cannot feed back into
+TLB state.  In the model that feedback only perturbs A-bit staleness
+slightly, and Fig. 6's metric ignores it by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.config import TMPConfig
+from ..core.hotness import RankSource, top_k_pages
+from ..core.page_stats import EpochProfile
+from ..core.profiler import TMProfiler
+from ..memsim.machine import Machine, MachineConfig
+from ..workloads.base import Workload
+from .latency_model import LatencyModel
+from .migration import PageMover
+from .placement import fcfa_place_new
+from .policies.base import Policy, PolicyContext
+from .simulator import EpochMetrics, SimulationResult
+from .tiers import TIER2, make_tiers
+
+__all__ = ["EpochRecord", "RecordedRun", "record_run", "evaluate_recorded"]
+
+
+@dataclass
+class EpochRecord:
+    """One epoch's captured profile and ground truth."""
+
+    epoch: int
+    accesses: int
+    profile: EpochProfile
+    counts: np.ndarray       # per-PFN total accesses this epoch
+    mem_counts: np.ndarray   # per-PFN memory (LLC-miss) accesses
+    tlb_counts: np.ndarray   # per-PFN TLB misses (BadgerTrap-visible)
+    dirty_pages: np.ndarray  # PML write set this epoch (PFNs)
+    overhead_s: float        # TMP profiling time this epoch
+    #: The epoch's drained trace records (for Fig. 3-style heatmaps).
+    samples: object = None
+
+
+@dataclass
+class RecordedRun:
+    """A workload's full recorded execution."""
+
+    workload: str
+    footprint_pages: int
+    n_frames: int
+    #: PFN → index of the epoch that first touched it (-1 for the init
+    #: phase, large for never-touched).
+    first_touch_epoch: np.ndarray
+    #: PFN → global op stamp of the first touch.
+    first_touch_op: np.ndarray
+    epochs: list[EpochRecord] = field(default_factory=list)
+    #: Whole-run raw machine event totals (retired ops, misses, walks).
+    event_totals: dict = field(default_factory=dict)
+
+    @property
+    def n_epochs(self) -> int:
+        return len(self.epochs)
+
+
+def record_run(
+    workload: Workload,
+    *,
+    machine_config: MachineConfig | None = None,
+    tmp_config: TMPConfig | None = None,
+    epochs: int = 10,
+    seed: int = 0,
+    init: bool = True,
+    epoch_slices: int = 1,
+) -> RecordedRun:
+    """Execute ``workload`` once and capture everything policies need.
+
+    ``epoch_slices`` splits each epoch into sub-batches with a profiler
+    ``tick`` between them, giving graded per-epoch A-bit counts (see
+    :meth:`TMProfiler.tick`).
+    """
+    if epoch_slices < 1:
+        raise ValueError(f"epoch_slices must be >= 1, got {epoch_slices}")
+    machine = Machine(machine_config or MachineConfig.scaled())
+    workload.attach(machine)
+    cfg = tmp_config or TMPConfig()
+    profiler = TMProfiler(machine, cfg)
+    profiler.register_workload(workload)
+    if not machine.pml.enabled:
+        machine.pml.enabled = True  # capture write sets for extensions
+    rng = np.random.default_rng(seed)
+
+    epoch_op_bounds: list[int] = []
+    event_totals: dict[str, int] = {}
+
+    def _execute(batch):
+        n = batch.n
+        bounds = np.linspace(0, n, epoch_slices + 1).astype(int)
+        counts = None
+        mem = None
+        tlb = None
+        for i in range(epoch_slices):
+            part = batch.take(slice(int(bounds[i]), int(bounds[i + 1])))
+            res = machine.run_batch(part)
+            for k, v in res.raw_events.items():
+                event_totals[k] = event_totals.get(k, 0) + v
+            profiler.observe_batch(part, res)
+            c = res.page_access_counts(machine.n_frames)
+            m = res.page_mem_access_counts(machine.n_frames)
+            t = np.bincount(
+                res.pfn[~res.tlb_hit].astype(np.intp), minlength=machine.n_frames
+            )
+            if counts is None or counts.size < c.size:
+                counts = _grow(counts, c.size)
+                mem = _grow(mem, m.size)
+                tlb = _grow(tlb, t.size)
+            counts[: c.size] += c
+            mem[: m.size] += m
+            tlb[: t.size] += t
+            if i < epoch_slices - 1:
+                profiler.tick()
+        return counts, mem, tlb
+
+    if init:
+        _execute(workload.init_stream(rng))  # returns ignored
+        profiler.end_epoch()
+        machine.pml.drain()
+        for pt in machine.page_tables.values():
+            machine.pml.clear_dirty(pt)  # re-arm after the population writes
+        epoch_op_bounds.append(machine.op_counter)
+    else:
+        epoch_op_bounds.append(0)
+
+    records: list[EpochRecord] = []
+    for e in range(epochs):
+        batch = workload.epoch(e, rng)
+        counts, mem, tlb = _execute(batch)
+        report = profiler.end_epoch()
+        dirty = machine.pml.drain()
+        # Re-arm write tracking: the hypervisor pattern clears D bits
+        # after reading the log, so the next epoch's log is the next
+        # epoch's write set (not just first-ever writes).
+        for pt in machine.page_tables.values():
+            machine.pml.clear_dirty(pt)
+        n_frames = machine.n_frames
+        records.append(
+            EpochRecord(
+                epoch=e,
+                accesses=batch.n,
+                profile=report.profile,
+                counts=_grow(counts, n_frames),
+                mem_counts=_grow(mem, n_frames),
+                tlb_counts=_grow(tlb, n_frames),
+                dirty_pages=dirty.astype(np.int64),
+                overhead_s=report.overhead.total_s,
+                samples=report.samples,
+            )
+        )
+        epoch_op_bounds.append(machine.op_counter)
+
+    first_op = machine.frame_stats.first_touch_op.copy()
+    # Map each frame's first touch to the epoch that produced it; init
+    # touches map to -1, untouched frames to n_epochs.
+    bounds = np.asarray(epoch_op_bounds, dtype=np.uint64)
+    first_epoch = np.searchsorted(bounds, first_op, side="right").astype(np.int64) - 1
+    first_epoch[~machine.frame_stats.touched_mask()] = epochs
+    if not init:
+        first_epoch = np.maximum(first_epoch, 0)
+
+    return RecordedRun(
+        workload=workload.name,
+        footprint_pages=workload.footprint_pages,
+        n_frames=machine.n_frames,
+        first_touch_epoch=first_epoch,
+        first_touch_op=first_op,
+        epochs=records,
+        event_totals=event_totals,
+    )
+
+
+def _grow(arr: np.ndarray | None, n: int) -> np.ndarray:
+    if arr is None:
+        return np.zeros(n, dtype=np.int64)
+    if arr.size >= n:
+        return arr
+    out = np.zeros(n, dtype=np.int64)
+    out[: arr.size] = arr
+    return out
+
+
+def evaluate_recorded(
+    recorded: RecordedRun,
+    policy: Policy,
+    *,
+    tier1_ratio: float = 1 / 8,
+    rank_source: RankSource | str = RankSource.COMBINED,
+    latency_model: LatencyModel | None = None,
+    base_epoch_s: float = 1.0,
+) -> SimulationResult:
+    """Replay placement decisions for one configuration.
+
+    Policies carrying internal state (History's EMA, AutoNUMA's cursor)
+    must be fresh instances per evaluation.
+    """
+    if not 0 < tier1_ratio <= 1:
+        raise ValueError(f"tier1_ratio must be in (0, 1], got {tier1_ratio}")
+    rank_source = RankSource(rank_source)
+    lm = latency_model or LatencyModel()
+    capacity = max(1, int(round(recorded.footprint_pages * tier1_ratio)))
+    tiers = make_tiers(recorded.n_frames, capacity)
+    mover = PageMover(tiers)  # no machine: no shootdown feedback
+
+    result = SimulationResult(
+        workload=recorded.workload,
+        policy=policy.name,
+        rank_source=rank_source.value,
+        tier1_ratio=float(tier1_ratio),
+        tier1_capacity=capacity,
+    )
+
+    prev_profile = None
+    for rec in recorded.epochs:
+        # First-touch placement of frames that appeared by this epoch.
+        newly = recorded.first_touch_epoch <= rec.epoch
+        fcfa_place_new(tiers, recorded.first_touch_op, newly)
+
+        ctx = PolicyContext(
+            epoch=rec.epoch,
+            tier1_capacity=capacity,
+            n_frames=recorded.n_frames,
+            prev_profile=prev_profile,
+            next_profile=rec.profile,
+            true_counts=rec.counts,
+            true_mem_counts=rec.mem_counts,
+            current_tier1=tiers.tier1_pages(),
+            rank_source=rank_source,
+            dirty_pages=rec.dirty_pages,
+            tlb_miss_counts=rec.tlb_counts,
+        )
+        moved = mover.apply_target(policy.target_tier1(ctx))
+
+        tier1_mem = rec.mem_counts[tiers.tier1_pages()].sum()
+        total_mem = rec.mem_counts.sum()
+        hitrate = float(tier1_mem / total_mem) if total_mem else 1.0
+
+        hot = top_k_pages(rec.counts.astype(np.float64), capacity)
+        hot_mask = np.zeros(recorded.n_frames, dtype=bool)
+        hot_mask[hot] = True
+        latency = lm.epoch_latency(
+            base_s=base_epoch_s,
+            access_counts=rec.counts,
+            slow_mask=tiers.tier_of == TIER2,
+            hot_mask=hot_mask,
+            migrations=moved.moved,
+        )
+        result.epochs.append(
+            EpochMetrics(
+                epoch=rec.epoch,
+                accesses=rec.accesses,
+                mem_accesses=int(total_mem),
+                hitrate=hitrate,
+                promoted=moved.promoted,
+                demoted=moved.demoted,
+                latency=latency,
+                profiler_overhead_s=rec.overhead_s,
+            )
+        )
+        prev_profile = rec.profile
+    return result

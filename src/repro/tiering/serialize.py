@@ -1,0 +1,119 @@
+"""Persist recorded runs to ``.npz`` archives.
+
+A :class:`~repro.tiering.recorded.RecordedRun` is the expensive half of
+every offline experiment; saving it lets a sweep be re-scored later (or
+on another machine) without re-simulating.  The format is a single
+compressed numpy archive: run-level metadata and arrays, plus per-epoch
+profile/ground-truth arrays and (optionally) the raw trace samples.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..core.page_stats import EpochProfile
+from ..memsim.events import SampleBatch
+from .recorded import EpochRecord, RecordedRun
+
+__all__ = ["save_recorded", "load_recorded"]
+
+_FORMAT_VERSION = 1
+
+_SAMPLE_FIELDS = (
+    "op_idx",
+    "cpu",
+    "pid",
+    "ip",
+    "vaddr",
+    "paddr",
+    "is_store",
+    "tlb_hit",
+    "data_source",
+)
+
+
+def save_recorded(
+    recorded: RecordedRun, path: str | Path, *, include_samples: bool = True
+) -> Path:
+    """Write a recorded run to ``path`` (``.npz``); returns the path."""
+    path = Path(path)
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "workload": recorded.workload,
+        "footprint_pages": recorded.footprint_pages,
+        "n_frames": recorded.n_frames,
+        "n_epochs": recorded.n_epochs,
+        "event_totals": recorded.event_totals,
+        "epoch_meta": [
+            {
+                "epoch": r.epoch,
+                "accesses": r.accesses,
+                "overhead_s": r.overhead_s,
+                "has_samples": bool(include_samples and r.samples is not None),
+            }
+            for r in recorded.epochs
+        ],
+    }
+    arrays: dict[str, np.ndarray] = {
+        "first_touch_epoch": recorded.first_touch_epoch,
+        "first_touch_op": recorded.first_touch_op,
+    }
+    for i, r in enumerate(recorded.epochs):
+        arrays[f"e{i}_abit"] = r.profile.abit
+        arrays[f"e{i}_trace"] = r.profile.trace
+        arrays[f"e{i}_counts"] = r.counts
+        arrays[f"e{i}_mem_counts"] = r.mem_counts
+        arrays[f"e{i}_tlb_counts"] = r.tlb_counts
+        arrays[f"e{i}_dirty"] = r.dirty_pages
+        if include_samples and r.samples is not None:
+            for field in _SAMPLE_FIELDS:
+                arrays[f"e{i}_s_{field}"] = getattr(r.samples, field)
+    np.savez_compressed(path, _meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8), **arrays)
+    # np.savez appends .npz if missing.
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_recorded(path: str | Path) -> RecordedRun:
+    """Read a recorded run written by :func:`save_recorded`."""
+    with np.load(Path(path)) as data:
+        meta = json.loads(bytes(data["_meta"]).decode())
+        if meta.get("format_version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported recording format {meta.get('format_version')!r}"
+            )
+        epochs = []
+        for i, em in enumerate(meta["epoch_meta"]):
+            samples = None
+            if em["has_samples"]:
+                samples = SampleBatch(
+                    **{f: data[f"e{i}_s_{f}"] for f in _SAMPLE_FIELDS}
+                )
+            epochs.append(
+                EpochRecord(
+                    epoch=em["epoch"],
+                    accesses=em["accesses"],
+                    profile=EpochProfile(
+                        epoch=em["epoch"],
+                        abit=data[f"e{i}_abit"],
+                        trace=data[f"e{i}_trace"],
+                    ),
+                    counts=data[f"e{i}_counts"],
+                    mem_counts=data[f"e{i}_mem_counts"],
+                    tlb_counts=data[f"e{i}_tlb_counts"],
+                    dirty_pages=data[f"e{i}_dirty"],
+                    overhead_s=em["overhead_s"],
+                    samples=samples,
+                )
+            )
+        return RecordedRun(
+            workload=meta["workload"],
+            footprint_pages=meta["footprint_pages"],
+            n_frames=meta["n_frames"],
+            first_touch_epoch=data["first_touch_epoch"],
+            first_touch_op=data["first_touch_op"],
+            epochs=epochs,
+            event_totals={k: int(v) for k, v in meta["event_totals"].items()},
+        )

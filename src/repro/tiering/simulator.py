@@ -1,0 +1,268 @@
+"""The end-to-end tiered-memory simulation loop.
+
+Drives the full pipeline the paper evaluates: workload access streams
+execute on the machine; TMP profiles them; at each epoch boundary a
+policy re-ranks pages and the mover migrates; the tier-1 hitrate and
+the emulation latency model score the outcome.
+
+Per epoch (≈ one simulated second, the paper's horizon):
+
+1. execute the epoch's access batch on the machine,
+2. close TMP's profiling epoch (scan + drain + snapshot),
+3. place newly touched frames first-come-first-allocate,
+4. ask the policy for the fast tier's contents — History sees the
+   *previous* epoch's profile, the Oracle peeks at the epoch's truth —
+   and migrate (conceptually, at the epoch's start),
+5. score: tier-1 hitrate over memory accesses, and the protection-fault
+   latency model with the paper's 50/10/13 µs calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.config import TMPConfig
+from ..core.hotness import RankSource, top_k_pages
+from ..core.profiler import TMProfiler
+from ..memsim.machine import Machine, MachineConfig
+from ..workloads.base import Workload
+from .latency_model import EpochLatency, LatencyModel
+from .migration import PageMover
+from .placement import fcfa_place_new
+from .policies.base import Policy, PolicyContext
+from .tiers import TIER2, TieredMemory, make_tiers
+
+__all__ = ["TieredSimulator", "EpochMetrics", "SimulationResult"]
+
+
+@dataclass
+class EpochMetrics:
+    """Per-epoch outcome of the tiered simulation."""
+
+    epoch: int
+    accesses: int
+    mem_accesses: int
+    #: Fraction of memory accesses served by tier 1 (Fig. 6's metric).
+    hitrate: float
+    promoted: int
+    demoted: int
+    latency: EpochLatency
+    profiler_overhead_s: float
+
+    @property
+    def runtime_s(self) -> float:
+        """Epoch wall-clock under the emulation model, incl. profiling."""
+        return self.latency.total_s + self.profiler_overhead_s
+
+
+@dataclass
+class SimulationResult:
+    """Whole-run outcome."""
+
+    workload: str
+    policy: str
+    rank_source: str
+    tier1_ratio: float
+    tier1_capacity: int
+    epochs: list[EpochMetrics] = field(default_factory=list)
+
+    @property
+    def mean_hitrate(self) -> float:
+        """Access-weighted mean tier-1 hitrate over all epochs."""
+        num = sum(e.hitrate * e.mem_accesses for e in self.epochs)
+        den = sum(e.mem_accesses for e in self.epochs)
+        return num / den if den else 0.0
+
+    @property
+    def total_runtime_s(self) -> float:
+        return sum(e.runtime_s for e in self.epochs)
+
+    @property
+    def total_migrations(self) -> int:
+        return sum(e.promoted + e.demoted for e in self.epochs)
+
+    def speedup_over(self, other: "SimulationResult") -> float:
+        """other.runtime / self.runtime (how much faster self is)."""
+        return other.total_runtime_s / self.total_runtime_s
+
+
+class TieredSimulator:
+    """Runs one (workload, policy, rank source, tier ratio) experiment."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        policy: Policy,
+        *,
+        tier1_ratio: float = 1 / 8,
+        rank_source: RankSource | str = RankSource.COMBINED,
+        machine_config: MachineConfig | None = None,
+        tmp_config: TMPConfig | None = None,
+        latency_model: LatencyModel | None = None,
+        seed: int = 0,
+        epoch_slices: int = 1,
+    ):
+        if not 0 < tier1_ratio <= 1:
+            raise ValueError(f"tier1_ratio must be in (0, 1], got {tier1_ratio}")
+        if epoch_slices < 1:
+            raise ValueError(f"epoch_slices must be >= 1, got {epoch_slices}")
+        self.epoch_slices = int(epoch_slices)
+        self.workload = workload
+        self.policy = policy
+        self.tier1_ratio = float(tier1_ratio)
+        self.rank_source = RankSource(rank_source)
+        self.latency_model = latency_model or LatencyModel()
+        self.seed = seed
+
+        self.machine = Machine(machine_config or MachineConfig.scaled())
+        workload.attach(self.machine)
+        self.profiler = TMProfiler(self.machine, tmp_config or TMPConfig())
+        self.profiler.register_workload(workload)
+
+        self.tier1_capacity = max(1, int(round(workload.footprint_pages * tier1_ratio)))
+        self.tiers: TieredMemory = make_tiers(
+            self.machine.n_frames, self.tier1_capacity
+        )
+        self.mover = PageMover(self.tiers, self.machine)
+        self._prev_profile = None
+        self._prev_counts_len = 0
+
+    def run(self, epochs: int = 10, init: bool = True) -> SimulationResult:
+        """Execute ``epochs`` epochs; return the scored result.
+
+        ``init`` first runs the workload's population stream (every
+        page written once, in address order) so first-touch placement
+        is hotness-blind, as on a real service.  The init phase is not
+        scored.
+        """
+        rng = np.random.default_rng(self.seed)
+        result = SimulationResult(
+            workload=self.workload.name,
+            policy=self.policy.name,
+            rank_source=self.rank_source.value,
+            tier1_ratio=self.tier1_ratio,
+            tier1_capacity=self.tier1_capacity,
+        )
+        if init:
+            self._run_init(rng)
+        for e in range(epochs):
+            result.epochs.append(self._run_epoch(e, rng))
+        return result
+
+    def _run_init(self, rng: np.random.Generator) -> None:
+        """Population phase: execute, profile (discarded), place FCFA."""
+        batch = self.workload.init_stream(rng)
+        res = self.machine.run_batch(batch)
+        self.profiler.observe_batch(batch, res)
+        self.profiler.end_epoch()  # discard the init profile
+        if self.machine.pml.enabled:
+            self.machine.pml.drain()
+            for pt in self.machine.page_tables.values():
+                self.machine.pml.clear_dirty(pt)
+        self.tiers.resize(self.machine.n_frames)
+        fcfa_place_new(
+            self.tiers,
+            self.machine.frame_stats.first_touch_op,
+            self.machine.frame_stats.touched_mask(),
+        )
+
+    # ------------------------------------------------------------- internals
+
+    def _run_epoch(self, e: int, rng: np.random.Generator) -> EpochMetrics:
+        machine = self.machine
+
+        # 1. Execute the epoch on the machine, in slices with profiler
+        #    service points between them (graded A-bit counts).
+        batch = self.workload.epoch(e, rng)
+        bounds = np.linspace(0, batch.n, self.epoch_slices + 1).astype(int)
+        counts = np.zeros(0, dtype=np.int64)
+        mem_counts = np.zeros(0, dtype=np.int64)
+        tlb_counts = np.zeros(0, dtype=np.int64)
+        for i in range(self.epoch_slices):
+            part = batch.take(slice(int(bounds[i]), int(bounds[i + 1])))
+            res = machine.run_batch(part)
+            self.profiler.observe_batch(part, res)
+            c = res.page_access_counts(machine.n_frames)
+            m = res.page_mem_access_counts(machine.n_frames)
+            t = np.bincount(
+                res.pfn[~res.tlb_hit].astype(np.intp), minlength=machine.n_frames
+            )
+            if counts.size < c.size:
+                counts = np.pad(counts, (0, c.size - counts.size))
+                mem_counts = np.pad(mem_counts, (0, m.size - mem_counts.size))
+                tlb_counts = np.pad(tlb_counts, (0, t.size - tlb_counts.size))
+            counts[: c.size] += c
+            mem_counts[: m.size] += m
+            tlb_counts[: t.size] += t
+            if i < self.epoch_slices - 1:
+                self.profiler.tick()
+
+        # 2. Close the profiling epoch.
+        report = self.profiler.end_epoch()
+
+        # 3. First-touch placement of newly allocated frames.
+        self.tiers.resize(machine.n_frames)
+        fcfa_place_new(
+            self.tiers,
+            machine.frame_stats.first_touch_op,
+            machine.frame_stats.touched_mask(),
+        )
+
+        # 4. Policy decision + migration (conceptually at epoch start).
+        if machine.pml.enabled:
+            # Re-arm per-epoch write tracking (hypervisor D-bit clear).
+            for pt in machine.page_tables.values():
+                machine.pml.clear_dirty(pt)
+        n_frames = machine.n_frames
+        if counts.size < n_frames:
+            counts = np.pad(counts, (0, n_frames - counts.size))
+            mem_counts = np.pad(mem_counts, (0, n_frames - mem_counts.size))
+            tlb_counts = np.pad(tlb_counts, (0, n_frames - tlb_counts.size))
+        dirty = machine.pml.drain() if machine.pml.enabled else None
+        ctx = PolicyContext(
+            epoch=e,
+            tier1_capacity=self.tier1_capacity,
+            n_frames=n_frames,
+            prev_profile=self._prev_profile,
+            next_profile=report.profile,
+            true_counts=counts,
+            true_mem_counts=mem_counts,
+            current_tier1=self.tiers.tier1_pages(),
+            rank_source=self.rank_source,
+            dirty_pages=dirty,
+            tlb_miss_counts=tlb_counts,
+        )
+        target = self.policy.target_tier1(ctx)
+        moved = self.mover.apply_target(target)
+
+        # 5. Score the epoch.
+        tier1_mem = mem_counts[self.tiers.tier1_pages()].sum()
+        total_mem = mem_counts.sum()
+        hitrate = float(tier1_mem / total_mem) if total_mem else 1.0
+
+        base_s = batch.n / machine.config.ops_per_second
+        slow_mask = self.tiers.tier_of == TIER2
+        hot = top_k_pages(counts.astype(np.float64), self.tier1_capacity)
+        hot_mask = np.zeros(n_frames, dtype=bool)
+        hot_mask[hot] = True
+        latency = self.latency_model.epoch_latency(
+            base_s=base_s,
+            access_counts=counts,
+            slow_mask=slow_mask,
+            hot_mask=hot_mask,
+            migrations=moved.moved,
+        )
+
+        self._prev_profile = report.profile
+        return EpochMetrics(
+            epoch=e,
+            accesses=batch.n,
+            mem_accesses=int(total_mem),
+            hitrate=hitrate,
+            promoted=moved.promoted,
+            demoted=moved.demoted,
+            latency=latency,
+            profiler_overhead_s=report.overhead.total_s,
+        )

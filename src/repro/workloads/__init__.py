@@ -1,0 +1,53 @@
+"""Synthetic access-stream models of the paper's Table III workloads."""
+
+from .base import ProcessContext, Workload, interleave
+from .colocation import MultiWorkload
+from .data_analytics import DataAnalytics
+from .data_caching import DataCaching
+from .graph500 import Graph500
+from .graph_analytics import GraphAnalytics
+from .gups import GUPS
+from .lulesh import LULESH
+from .registry import (
+    DEFAULT_SCALE,
+    WORKLOAD_NAMES,
+    WORKLOADS,
+    make_workload,
+    paper_suite,
+)
+from .synth import (
+    BoundedZipf,
+    batch_on_vma,
+    rmw_expand,
+    sequential_sweep,
+    strided_sweep,
+    uniform_pages,
+)
+from .web_serving import WebServing
+from .xsbench import XSBench
+
+__all__ = [
+    "BoundedZipf",
+    "DataAnalytics",
+    "DataCaching",
+    "DEFAULT_SCALE",
+    "GUPS",
+    "Graph500",
+    "GraphAnalytics",
+    "LULESH",
+    "MultiWorkload",
+    "ProcessContext",
+    "WORKLOADS",
+    "WORKLOAD_NAMES",
+    "WebServing",
+    "Workload",
+    "XSBench",
+    "batch_on_vma",
+    "interleave",
+    "make_workload",
+    "paper_suite",
+    "rmw_expand",
+    "sequential_sweep",
+    "strided_sweep",
+    "uniform_pages",
+]

@@ -1,0 +1,115 @@
+"""Web-Serving (CloudSuite) workload model.
+
+CloudSuite's web-serving benchmark drives an Elgg/PHP social-network
+stack with the Faban load generator (the paper uses 3 servers and 100
+clients).  Memory behaviour: a small, extremely hot code/opcache/DB
+working set that stays cache-resident, plus per-request session and
+response-buffer pages that are touched a handful of times and then
+abandoned (session churn), with request-rate troughs between load
+waves.
+
+Profiling character (Table IV): the suite's starkest A-bit win — the
+churn pages all get their A bit set (every touch of a fresh page is a
+TLB miss), but memory intensity is so low that IBS's op-sampled trace
+catches very few of them (25 K A-bit vs 3-4 K IBS).  The idle troughs
+are also what exercise TMP's HWPC-based gating.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..memsim.events import AccessBatch
+from ..memsim.machine import Machine
+from .base import ProcessContext, Workload
+from .synth import BoundedZipf, batch_on_vma, sequential_sweep
+
+__all__ = ["WebServing"]
+
+_IP_CODE = 0xB000_0000
+_IP_SESSION = 0xB000_1000
+
+#: Request-rate wave (relative intensity per epoch, cycled).
+_LOAD_WAVE = (1.0, 0.85, 0.3, 0.15, 0.6)
+
+
+class WebServing(Workload):
+    """Request-driven service: hot code set + churning session pages."""
+
+    name = "web-serving"
+
+    def __init__(
+        self,
+        footprint_pages: int = 4_608,
+        n_servers: int = 3,
+        n_clients: int = 12,
+        accesses_per_epoch: int = 120_000,
+        code_pages: int = 192,
+        session_touches: int = 6,
+        hot_fraction: float = 0.9,
+        **kw,
+    ):
+        super().__init__(
+            footprint_pages, n_servers + n_clients, accesses_per_epoch, **kw
+        )
+        self.n_servers = int(n_servers)
+        self.n_clients = int(n_clients)
+        self.code_pages = int(code_pages)
+        self.session_touches = int(session_touches)
+        self.hot_fraction = float(hot_fraction)
+        self._code_zipf = BoundedZipf(self.code_pages, alpha=1.3)
+
+    @property
+    def session_pages_per_server(self) -> int:
+        """Session-arena pages per server process."""
+        return self.footprint_pages // self.n_servers
+
+    def _map_process(self, machine: Machine, pid: int, index: int):
+        if index < self.n_servers:
+            return {
+                "code": machine.mmap(pid, self.code_pages, name="code"),
+                "sessions": machine.mmap(
+                    pid, self.session_pages_per_server, name="sessions"
+                ),
+            }
+        return {"client": machine.mmap(pid, 16, name="client")}
+
+    def _process_epoch(
+        self,
+        proc: ProcessContext,
+        epoch_idx: int,
+        n_accesses: int,
+        rng: np.random.Generator,
+    ) -> AccessBatch:
+        intensity = _LOAD_WAVE[epoch_idx % len(_LOAD_WAVE)]
+        n = max(16, int(n_accesses * intensity))
+        if "code" not in proc.vmas:
+            client = proc.vma("client")
+            sweep = sequential_sweep(client.npages, max(8, n // 8))
+            return batch_on_vma(
+                client, sweep, pid=proc.pid, cpu=proc.cpu, ip=_IP_SESSION, rng=rng
+            )
+
+        n_code = int(n * self.hot_fraction)
+        n_session = n - n_code
+
+        code = proc.vma("code")
+        code_batch = batch_on_vma(
+            code, self._code_zipf.sample(rng, n_code),
+            pid=proc.pid, cpu=proc.cpu, ip=_IP_CODE, rng=rng,
+        )
+
+        sessions = proc.vma("sessions")
+        # Fresh session pages each epoch: a rotating window of the arena,
+        # each page touched `session_touches` times then abandoned.
+        n_fresh = max(1, n_session // self.session_touches)
+        start = (epoch_idx * n_fresh) % sessions.npages
+        fresh = (start + np.arange(n_fresh, dtype=np.int64)) % sessions.npages
+        pages = np.repeat(fresh, self.session_touches)[:n_session]
+        is_store = np.zeros(pages.size, dtype=bool)
+        is_store[:: self.session_touches] = True  # first touch writes
+        session_batch = batch_on_vma(
+            sessions, pages, pid=proc.pid, cpu=proc.cpu, is_store=is_store,
+            ip=_IP_SESSION, rng=rng,
+        )
+        return AccessBatch.concat([code_batch, session_batch])

@@ -1,0 +1,88 @@
+"""Unit tests for CDF and hot-set analyses."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    access_cdf,
+    hot_classification_fraction,
+    pages_for_mass,
+    sample_cdf_at,
+)
+
+
+class TestAccessCdf:
+    def test_basic(self):
+        values, frac = access_cdf(np.array([0, 1, 1, 2, 4]))
+        np.testing.assert_array_equal(values, [1, 2, 4])
+        np.testing.assert_allclose(frac, [0.5, 0.75, 1.0])
+
+    def test_excludes_zeros(self):
+        values, frac = access_cdf(np.array([0, 0, 3]))
+        np.testing.assert_array_equal(values, [3])
+        np.testing.assert_allclose(frac, [1.0])
+
+    def test_empty(self):
+        values, frac = access_cdf(np.zeros(4))
+        assert values.size == 0 and frac.size == 0
+
+    def test_monotone(self):
+        rng = np.random.default_rng(0)
+        counts = rng.integers(0, 100, 1000)
+        _, frac = access_cdf(counts)
+        assert (np.diff(frac) >= 0).all()
+        assert frac[-1] == pytest.approx(1.0)
+
+
+class TestSampleCdfAt:
+    def test_values(self):
+        counts = np.array([0, 1, 2, 3, 4])
+        assert sample_cdf_at(counts, 2) == pytest.approx(0.5)
+        assert sample_cdf_at(counts, 100) == 1.0
+
+    def test_empty(self):
+        assert sample_cdf_at(np.zeros(3), 1) == 0.0
+
+
+class TestPagesForMass:
+    def test_concentrated(self):
+        counts = np.array([100, 1, 1, 1])
+        assert pages_for_mass(counts, 0.9) == 1
+
+    def test_uniform(self):
+        counts = np.ones(10)
+        assert pages_for_mass(counts, 0.5) == 5
+
+    def test_full_mass(self):
+        counts = np.array([5, 5])
+        assert pages_for_mass(counts, 1.0) == 2
+
+    def test_zero_total(self):
+        assert pages_for_mass(np.zeros(5), 0.5) == 0
+
+    def test_bad_mass(self):
+        with pytest.raises(ValueError):
+            pages_for_mass(np.ones(2), 0.0)
+        with pytest.raises(ValueError):
+            pages_for_mass(np.ones(2), 1.5)
+
+
+class TestHotClassification:
+    def test_perfect_classifier(self):
+        ref = np.array([True, True, False, False])
+        counts = np.array([10, 9, 0, 0])
+        assert hot_classification_fraction(counts, ref, capacity=2) == 1.0
+
+    def test_blind_classifier(self):
+        # Classifier only sees pages outside the reference set.
+        ref = np.array([True, True, False, False])
+        counts = np.array([0, 0, 5, 5])
+        assert hot_classification_fraction(counts, ref, capacity=2) == 0.0
+
+    def test_partial(self):
+        ref = np.array([True, True, True, True])
+        counts = np.array([1, 0, 0, 2])
+        assert hot_classification_fraction(counts, ref, capacity=4) == pytest.approx(0.5)
+
+    def test_no_reference(self):
+        assert hot_classification_fraction(np.ones(3), np.zeros(3, dtype=bool), 2) == 0.0

@@ -1,0 +1,54 @@
+"""Unit tests for per-epoch sample heatmaps (the Fig. 3 time axis)."""
+
+import numpy as np
+
+from repro.analysis.heatmap import heatmap_from_epoch_samples
+from repro.memsim.events import SampleBatch
+
+
+def _samples(pfns):
+    pfns = np.asarray(pfns, dtype=np.uint64)
+    n = pfns.size
+    return SampleBatch(
+        op_idx=np.arange(n, dtype=np.uint64),
+        cpu=np.zeros(n, dtype=np.int16),
+        pid=np.ones(n, dtype=np.int32),
+        ip=np.zeros(n, dtype=np.uint64),
+        vaddr=pfns << np.uint64(12),
+        paddr=pfns << np.uint64(12),
+        is_store=np.zeros(n, dtype=bool),
+        tlb_hit=np.zeros(n, dtype=bool),
+        data_source=np.full(n, 4, dtype=np.uint8),
+    )
+
+
+class TestEpochHeatmap:
+    def test_one_column_per_epoch(self):
+        h = heatmap_from_epoch_samples(
+            [_samples([0]), _samples([1, 1]), _samples([])],
+            n_addr_bins=2,
+            n_frames=2,
+        )
+        assert h.shape == (2, 3)
+        assert h[0, 0] == 1
+        assert h[1, 1] == 2
+        assert h[:, 2].sum() == 0
+
+    def test_none_epochs_tolerated(self):
+        h = heatmap_from_epoch_samples([None, _samples([3])], n_addr_bins=4, n_frames=4)
+        assert h[:, 0].sum() == 0
+        assert h[3, 1] == 1
+
+    def test_n_frames_inferred(self):
+        h = heatmap_from_epoch_samples([_samples([7])], n_addr_bins=8)
+        assert h.shape == (8, 1)
+        assert h[7, 0] == 1  # max pfn 7 → 8 frames → one per bin
+
+    def test_empty_list(self):
+        h = heatmap_from_epoch_samples([], n_addr_bins=4)
+        assert h.shape == (4, 0)
+
+    def test_column_sums_equal_sample_counts(self):
+        epochs = [_samples(np.arange(10)), _samples(np.arange(3))]
+        h = heatmap_from_epoch_samples(epochs, n_addr_bins=5, n_frames=10)
+        np.testing.assert_array_equal(h.sum(axis=0), [10, 3])

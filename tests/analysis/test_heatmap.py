@@ -1,0 +1,117 @@
+"""Unit tests for heatmap construction and rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import heatmap_from_profiles, heatmap_from_samples, render_heatmap
+from repro.core.page_stats import EpochProfile
+from repro.memsim.events import SampleBatch
+
+
+def _samples(op_idx, pfns):
+    op_idx = np.asarray(op_idx, dtype=np.uint64)
+    pfns = np.asarray(pfns, dtype=np.uint64)
+    n = op_idx.size
+    return SampleBatch(
+        op_idx=op_idx,
+        cpu=np.zeros(n, dtype=np.int16),
+        pid=np.ones(n, dtype=np.int32),
+        ip=np.zeros(n, dtype=np.uint64),
+        vaddr=pfns << np.uint64(12),
+        paddr=pfns << np.uint64(12),
+        is_store=np.zeros(n, dtype=bool),
+        tlb_hit=np.zeros(n, dtype=bool),
+        data_source=np.full(n, 4, dtype=np.uint8),
+    )
+
+
+class TestFromSamples:
+    def test_shape(self):
+        h = heatmap_from_samples(_samples([0, 50, 99], [0, 5, 9]), n_time_bins=10, n_addr_bins=5)
+        assert h.shape == (5, 10)
+        assert h.sum() == 3
+
+    def test_placement(self):
+        h = heatmap_from_samples(
+            _samples([0, 99], [0, 9]),
+            n_time_bins=2,
+            n_addr_bins=2,
+            op_range=(0, 100),
+            pfn_range=(0, 10),
+        )
+        assert h[0, 0] == 1  # early op, low address
+        assert h[1, 1] == 1  # late op, high address
+
+    def test_empty(self):
+        h = heatmap_from_samples(SampleBatch.empty(), n_time_bins=4, n_addr_bins=4)
+        assert h.shape == (4, 4)
+        assert h.sum() == 0
+
+    def test_intensity_counts(self):
+        h = heatmap_from_samples(
+            _samples([1, 1, 1], [2, 2, 2]), n_time_bins=1, n_addr_bins=1
+        )
+        assert h[0, 0] == 3
+
+
+class TestFromProfiles:
+    def _profiles(self):
+        return [
+            EpochProfile(epoch=0, abit=np.array([1, 0, 0, 2]), trace=np.array([0, 5, 0, 0])),
+            EpochProfile(epoch=1, abit=np.array([0, 1, 1, 0]), trace=np.array([1, 0, 0, 1])),
+        ]
+
+    def test_abit_field(self):
+        h = heatmap_from_profiles(self._profiles(), field="abit", n_addr_bins=2, n_frames=4)
+        assert h.shape == (2, 2)
+        assert h[0, 0] == 1  # pages 0-1, epoch 0
+        assert h[1, 0] == 2  # pages 2-3, epoch 0
+
+    def test_trace_field(self):
+        h = heatmap_from_profiles(self._profiles(), field="trace", n_addr_bins=2, n_frames=4)
+        assert h[0, 0] == 5
+
+    def test_rank_field(self):
+        h = heatmap_from_profiles(self._profiles(), field="rank", n_addr_bins=1, n_frames=4)
+        assert h[0, 0] == pytest.approx(8, rel=1e-6)
+
+    def test_bad_field(self):
+        with pytest.raises(ValueError):
+            heatmap_from_profiles(self._profiles(), field="vibes")
+
+    def test_empty(self):
+        h = heatmap_from_profiles([], n_addr_bins=4)
+        assert h.shape == (4, 0)
+
+    def test_ragged_profiles_padded(self):
+        profiles = [
+            EpochProfile(epoch=0, abit=np.array([1, 1]), trace=np.zeros(2, dtype=np.int64)),
+            EpochProfile(epoch=1, abit=np.array([0, 0, 0, 3]), trace=np.zeros(4, dtype=np.int64)),
+        ]
+        h = heatmap_from_profiles(profiles, field="abit", n_addr_bins=2)
+        assert h.shape == (2, 2)
+        assert h[1, 1] == 3
+
+
+class TestRender:
+    def test_renders_lines(self):
+        h = np.array([[0, 1], [5, 0]])
+        out = render_heatmap(h, title="demo")
+        lines = out.splitlines()
+        assert lines[0] == "demo"
+        assert len(lines) == 4  # title + 2 rows + axis
+        assert lines[1].startswith("|") and lines[1].endswith("|")
+
+    def test_high_address_on_top(self):
+        h = np.array([[0, 0], [9, 9]])  # row 1 = high addresses
+        out = render_heatmap(h, title="")
+        rows = [l for l in out.splitlines() if l.startswith("|")]
+        assert rows[0] != rows[1]
+        assert rows[0].count(" ") < rows[1].count(" ")  # top row denser
+
+    def test_all_zero(self):
+        out = render_heatmap(np.zeros((2, 3)))
+        assert "|   |" in out
+
+    def test_empty_matrix(self):
+        assert render_heatmap(np.zeros((0, 0)), title="t") == "t"

@@ -1,0 +1,55 @@
+"""Tests for the Fig. 6 sweep helpers."""
+
+import pytest
+
+from repro.analysis import sweep_recorded
+from repro.analysis.hitrate import fig6_sweep
+from repro.memsim import MachineConfig
+from repro.tiering import record_run
+from repro.workloads import make_workload
+
+
+@pytest.fixture(scope="module")
+def recording():
+    w = make_workload("data-caching", accesses_per_epoch=80_000)
+    return record_run(
+        w, machine_config=MachineConfig.scaled(ibs_period=16), epochs=4, seed=0
+    )
+
+
+class TestSweepRecorded:
+    def test_grid_complete(self, recording):
+        points = sweep_recorded(recording, ratios=(1 / 8, 1 / 32))
+        # 2 policies x 3 sources x 2 ratios.
+        assert len(points) == 12
+        assert {p.policy for p in points} == {"oracle", "history"}
+        assert {p.source for p in points} == {"abit", "trace", "combined"}
+
+    def test_hitrates_valid(self, recording):
+        for p in sweep_recorded(recording, ratios=(1 / 16,)):
+            assert 0.0 <= p.hitrate <= 1.0
+
+    def test_ratio_monotonicity(self, recording):
+        points = sweep_recorded(
+            recording, policies=("oracle",), sources=("trace",), ratios=(1 / 128, 1 / 8)
+        )
+        small, big = points[0], points[1]
+        # points come out in ratio order per (policy, source)
+        by_ratio = {p.ratio: p.hitrate for p in points}
+        assert by_ratio[1 / 8] > by_ratio[1 / 128]
+
+    def test_unknown_policy(self, recording):
+        with pytest.raises(ValueError):
+            sweep_recorded(recording, policies=("vibes",))
+
+
+class TestFig6Sweep:
+    def test_end_to_end_small(self):
+        points = fig6_sweep(
+            ["web-serving"],
+            epochs=3,
+            ratios=(1 / 8,),
+            workload_kw=dict(accesses_per_epoch=40_000),
+        )
+        assert len(points) == 6
+        assert all(p.workload == "web-serving" for p in points)

@@ -1,0 +1,58 @@
+"""Unit tests for text rendering."""
+
+from repro.analysis import format_csv, format_ratio, format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["name", "n"], [["a", 1], ["long-name", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert len({len(l) for l in lines}) == 1  # all same width
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[0.123456]], float_fmt="{:.2f}")
+        assert "0.12" in out
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out
+
+
+class TestFormatSeries:
+    def test_pairs(self):
+        out = format_series("oracle/combined", ["1/8", "1/16"], [0.9, 0.8])
+        assert "1/8=0.900" in out
+        assert "1/16=0.800" in out
+        assert out.startswith("oracle/combined")
+
+
+class TestFormatCsv:
+    def test_basic(self):
+        out = format_csv(["a", "b"], [[1, 2.5], ["x", 3]])
+        lines = out.splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2.5"
+
+    def test_quoting(self):
+        out = format_csv(["v"], [['he said "hi", twice']])
+        assert out.splitlines()[1] == '"he said ""hi"", twice"'
+
+    def test_float_precision_preserved(self):
+        out = format_csv(["v"], [[1 / 3]])
+        assert float(out.splitlines()[1]) == 1 / 3
+
+    def test_empty_rows(self):
+        assert format_csv(["a"], []) == "a"
+
+
+class TestFormatRatio:
+    def test_ratio(self):
+        assert format_ratio(113.0, 100.0) == "1.13x"
+
+    def test_zero_reference(self):
+        assert format_ratio(1.0, 0.0) == "inf"

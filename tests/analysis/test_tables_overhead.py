@@ -1,0 +1,86 @@
+"""Integration tests for Table IV and overhead measurement helpers."""
+
+import pytest
+
+from repro.analysis import (
+    DetectionRow,
+    detected_pages_for,
+    measure_overhead,
+    rate_improvements,
+)
+from repro.core import TMPConfig
+from repro.memsim import MachineConfig
+from repro.workloads import make_workload
+
+
+class TestDetectedPages:
+    def test_row_fields(self):
+        row = detected_pages_for(
+            "gups",
+            rate="4x",
+            epochs=2,
+            workload_kw=dict(footprint_pages=2048, accesses_per_epoch=40_000),
+        )
+        assert row.workload == "gups"
+        assert row.rate == "4x"
+        assert row.abit > 0
+        assert row.trace > 0
+        assert row.both <= min(row.abit, row.trace)
+
+    def test_higher_rate_detects_more(self):
+        kw = dict(workload_kw=dict(footprint_pages=8192, accesses_per_epoch=40_000), epochs=3)
+        slow = detected_pages_for("gups", rate="default", **kw)
+        fast = detected_pages_for("gups", rate="8x", **kw)
+        assert fast.trace > slow.trace
+
+    def test_unknown_rate(self):
+        with pytest.raises(KeyError):
+            detected_pages_for("gups", rate="16x", epochs=1)
+
+
+class TestRateImprovements:
+    def test_computation(self):
+        rows = [
+            DetectionRow("w", "default", 10, 100, 5),
+            DetectionRow("w", "4x", 10, 250, 5),
+            DetectionRow("w", "8x", 10, 300, 5),
+        ]
+        g = rate_improvements(rows)
+        assert g["gain_4x_over_default"] == pytest.approx(2.5)
+        assert g["gain_8x_over_4x"] == pytest.approx(1.2)
+
+    def test_empty(self):
+        g = rate_improvements([])
+        assert g["gain_4x_over_default"] == 0.0
+
+
+class TestMeasureOverhead:
+    def test_report_fields(self):
+        w = make_workload("gups", footprint_pages=2048, accesses_per_epoch=40_000)
+        rep = measure_overhead(w, label="x", epochs=3)
+        assert rep.app_time_s > 0
+        assert rep.total_s == pytest.approx(
+            rep.abit_s + rep.trace_s + rep.hwpc_s + rep.filter_s
+        )
+        assert rep.fraction < 0.2
+        assert rep.abit_scans == 3
+
+    def test_abit_only_configuration(self):
+        w = make_workload("gups", footprint_pages=2048, accesses_per_epoch=40_000)
+        rep = measure_overhead(
+            w, tmp_config=TMPConfig(trace_enabled=False), epochs=3
+        )
+        assert rep.trace_samples == 0
+        assert rep.trace_s == 0
+        assert rep.abit_s > 0
+
+    def test_faster_sampling_costs_more(self):
+        def run(period):
+            w = make_workload("gups", footprint_pages=2048, accesses_per_epoch=40_000)
+            return measure_overhead(
+                w,
+                machine_config=MachineConfig.scaled(ibs_period=period),
+                epochs=3,
+            )
+
+        assert run(8).trace_fraction > run(64).trace_fraction

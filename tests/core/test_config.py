@@ -1,0 +1,55 @@
+"""Unit tests for TMPConfig validation."""
+
+import pytest
+
+from repro.core import CostModel, TMPConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        cfg = TMPConfig()
+        assert cfg.abit_enabled and cfg.trace_enabled
+        assert cfg.trace_source == "ibs"
+
+    def test_bad_trace_source(self):
+        with pytest.raises(ValueError, match="trace_source"):
+            TMPConfig(trace_source="pin")
+
+    def test_lwp_source_accepted(self):
+        assert TMPConfig(trace_source="lwp").trace_source == "lwp"
+
+    def test_bad_threshold(self):
+        with pytest.raises(ValueError, match="gating_threshold"):
+            TMPConfig(gating_threshold=1.5)
+        with pytest.raises(ValueError, match="gating_threshold"):
+            TMPConfig(gating_threshold=-0.1)
+
+    def test_bad_budget(self):
+        with pytest.raises(ValueError, match="budget"):
+            TMPConfig(abit_scan_budget_pages=0)
+
+    def test_unbounded_budget_ok(self):
+        assert TMPConfig(abit_scan_budget_pages=None).abit_scan_budget_pages is None
+
+    def test_pebs_source(self):
+        assert TMPConfig(trace_source="pebs").trace_source == "pebs"
+
+
+class TestCostModel:
+    def test_positive_defaults(self):
+        c = CostModel()
+        for name in (
+            "abit_per_pte_s",
+            "abit_per_scan_s",
+            "shootdown_s",
+            "trace_per_sample_s",
+            "trace_per_interrupt_s",
+            "pmu_read_s",
+            "filter_eval_s",
+        ):
+            assert getattr(c, name) > 0
+
+    def test_independent_instances(self):
+        a, b = TMPConfig(), TMPConfig()
+        a.costs.abit_per_pte_s = 99.0
+        assert b.costs.abit_per_pte_s != 99.0

@@ -1,0 +1,98 @@
+"""Unit and property tests for hotness ranking."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import RankSource, hotness_rank, top_k_pages
+from repro.core.page_stats import EpochProfile
+
+
+def _profile(abit, trace):
+    return EpochProfile(
+        epoch=0,
+        abit=np.asarray(abit, dtype=np.int64),
+        trace=np.asarray(trace, dtype=np.int64),
+    )
+
+
+class TestRankSources:
+    def test_combined_sum(self):
+        p = _profile([1, 0, 2], [0, 3, 1])
+        np.testing.assert_allclose(hotness_rank(p), [1, 3, 3], atol=1e-6)
+
+    def test_combined_tie_break_prefers_trace(self):
+        # Equal nominal rank: the trace-supported page must win top-1.
+        p = _profile([1, 0], [0, 1])
+        rank = hotness_rank(p)
+        assert rank[1] > rank[0]
+
+    def test_abit_only(self):
+        p = _profile([1, 0, 2], [0, 3, 1])
+        np.testing.assert_array_equal(hotness_rank(p, RankSource.ABIT), [1, 0, 2])
+
+    def test_trace_only(self):
+        p = _profile([1, 0, 2], [0, 3, 1])
+        np.testing.assert_array_equal(hotness_rank(p, "trace"), [0, 3, 1])
+
+    def test_weights(self):
+        p = _profile([2], [4])
+        assert hotness_rank(p, abit_weight=3.0, trace_weight=0.5)[0] == pytest.approx(8.0)
+
+    def test_string_source_accepted(self):
+        p = _profile([1], [1])
+        assert hotness_rank(p, "combined")[0] == pytest.approx(2)
+
+    def test_bad_source(self):
+        with pytest.raises(ValueError):
+            hotness_rank(_profile([1], [1]), "vibes")
+
+
+class TestTopK:
+    def test_picks_hottest(self):
+        rank = np.array([5.0, 1.0, 9.0, 0.0])
+        np.testing.assert_array_equal(top_k_pages(rank, 2), [2, 0])
+
+    def test_excludes_zero_rank(self):
+        rank = np.array([0.0, 0.0, 1.0])
+        np.testing.assert_array_equal(top_k_pages(rank, 3), [2])
+
+    def test_k_zero_or_negative(self):
+        assert top_k_pages(np.array([1.0]), 0).size == 0
+        assert top_k_pages(np.array([1.0]), -5).size == 0
+
+    def test_deterministic_tie_break_low_pfn_first(self):
+        rank = np.array([3.0, 3.0, 3.0, 3.0])
+        np.testing.assert_array_equal(top_k_pages(rank, 2), [0, 1])
+
+    def test_eligibility_mask(self):
+        rank = np.array([5.0, 9.0, 7.0])
+        eligible = np.array([True, False, True])
+        np.testing.assert_array_equal(top_k_pages(rank, 2, eligible), [2, 0])
+
+    def test_all_zero(self):
+        assert top_k_pages(np.zeros(5), 3).size == 0
+
+    @given(
+        ranks=st.lists(st.floats(0, 1e6, allow_nan=False), min_size=1, max_size=64),
+        k=st.integers(0, 80),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_topk_invariants(self, ranks, k):
+        rank = np.array(ranks)
+        top = top_k_pages(rank, k)
+        # No more than k, all distinct, all positive-rank.
+        assert top.size <= k
+        assert np.unique(top).size == top.size
+        if top.size:
+            assert (rank[top] > 0).all()
+            # Every excluded positive page ranks <= the minimum included.
+            included = set(top.tolist())
+            min_in = rank[top].min()
+            excluded = [i for i in np.flatnonzero(rank > 0) if i not in included]
+            if top.size == k and excluded:
+                assert rank[excluded].max() <= min_in
+        # Sorted descending by rank.
+        if top.size > 1:
+            assert (np.diff(rank[top]) <= 1e-12).all()

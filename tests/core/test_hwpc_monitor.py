@@ -1,0 +1,107 @@
+"""Unit tests for HWPC-based gating (the 20%-of-max rule)."""
+
+import pytest
+
+from repro.core import HWPCMonitor, TMPConfig
+from repro.memsim import Machine, MachineConfig
+
+
+def _setup(threshold=0.2):
+    m = Machine(MachineConfig(total_frames=1 << 12, n_cpus=1))
+    cfg = TMPConfig(gating_threshold=threshold, hwpc_gating=True)
+    return m, HWPCMonitor(m, cfg)
+
+
+def _feed(m, llc_miss, dtlb_miss):
+    m.pmu.update({"llc_miss": llc_miss, "dtlb_miss": dtlb_miss})
+
+
+class TestGating:
+    def test_first_interval_active(self):
+        m, mon = _setup()
+        _feed(m, 100, 100)
+        d = mon.observe_interval()
+        assert d.trace_active and d.abit_active
+
+    def test_quiet_phase_disables(self):
+        m, mon = _setup()
+        _feed(m, 1000, 1000)
+        mon.observe_interval()
+        _feed(m, 10, 10)  # 1% of max < 20%
+        d = mon.observe_interval()
+        assert not d.trace_active
+        assert not d.abit_active
+
+    def test_reactivation_on_burst(self):
+        m, mon = _setup()
+        _feed(m, 1000, 1000)
+        mon.observe_interval()
+        _feed(m, 10, 10)
+        mon.observe_interval()
+        _feed(m, 500, 500)  # 50% of max
+        d = mon.observe_interval()
+        assert d.trace_active and d.abit_active
+
+    def test_independent_gates(self):
+        m, mon = _setup()
+        _feed(m, 1000, 1000)
+        mon.observe_interval()
+        _feed(m, 900, 10)  # LLC still busy, TLB quiet
+        d = mon.observe_interval()
+        assert d.trace_active
+        assert not d.abit_active
+
+    def test_threshold_boundary(self):
+        m, mon = _setup(threshold=0.2)
+        _feed(m, 1000, 1000)
+        mon.observe_interval()
+        _feed(m, 200, 201)  # exactly 20% is NOT above threshold
+        d = mon.observe_interval()
+        assert not d.trace_active
+        assert d.abit_active
+
+    def test_zero_activity_never_seen_stays_armed(self):
+        m, mon = _setup()
+        _feed(m, 0, 0)
+        d = mon.observe_interval()
+        assert d.trace_active and d.abit_active  # no max yet: stay armed
+
+
+class TestBookkeeping:
+    def test_rates_reported(self):
+        m, mon = _setup()
+        _feed(m, 123, 45)
+        d = mon.observe_interval()
+        assert d.llc_miss_rate == 123
+        assert d.dtlb_miss_rate == 45
+
+    def test_maxima_tracked(self):
+        m, mon = _setup()
+        _feed(m, 100, 5)
+        mon.observe_interval()
+        _feed(m, 50, 80)
+        mon.observe_interval()
+        maxima = mon.maxima()
+        assert maxima["llc_miss"] == 100
+        assert maxima["dtlb_miss"] == 80
+
+    def test_decision_history(self):
+        m, mon = _setup()
+        for _ in range(3):
+            _feed(m, 10, 10)
+            mon.observe_interval()
+        assert len(mon.decisions) == 3
+
+    def test_pmu_read_cost(self):
+        m, mon = _setup()
+        _feed(m, 1, 1)
+        mon.observe_interval()
+        assert mon.time_s == pytest.approx(2 * mon.config.costs.pmu_read_s)
+
+    def test_pmu_reset_between_intervals(self):
+        m, mon = _setup()
+        _feed(m, 100, 100)
+        mon.observe_interval()
+        # No events this interval: counters were reset.
+        d = mon.observe_interval()
+        assert d.llc_miss_rate == 0

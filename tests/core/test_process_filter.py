@@ -1,0 +1,73 @@
+"""Unit tests for the resource-usage process filter."""
+
+from repro.core import ProcessFilter, ProcessUsage, TMPConfig
+
+
+def _u(pid, cpu=0.0, mem=0.0):
+    return ProcessUsage(pid=pid, cpu_share=cpu, mem_share=mem)
+
+
+class TestThresholds:
+    def test_cpu_threshold(self):
+        f = ProcessFilter(TMPConfig())
+        tracked = f.evaluate([_u(1, cpu=0.06), _u(2, cpu=0.04)])
+        assert tracked == [1]
+
+    def test_mem_threshold(self):
+        f = ProcessFilter(TMPConfig())
+        tracked = f.evaluate([_u(1, mem=0.11), _u(2, mem=0.09)])
+        assert tracked == [1]
+
+    def test_either_suffices(self):
+        f = ProcessFilter(TMPConfig())
+        tracked = f.evaluate([_u(1, cpu=0.06, mem=0.0), _u(2, cpu=0.0, mem=0.2)])
+        assert tracked == [1, 2]
+
+    def test_exact_threshold_included(self):
+        f = ProcessFilter(TMPConfig())
+        assert f.evaluate([_u(1, cpu=0.05)]) == [1]
+        assert f.evaluate([_u(2, mem=0.10)]) == [2]
+
+    def test_filter_disabled_tracks_all(self):
+        f = ProcessFilter(TMPConfig(process_filter=False))
+        assert f.evaluate([_u(1), _u(2)]) == [1, 2]
+
+    def test_custom_thresholds(self):
+        f = ProcessFilter(TMPConfig(min_cpu_share=0.5, min_mem_share=0.5))
+        assert f.evaluate([_u(1, cpu=0.3, mem=0.3)]) == []
+
+
+class TestRestrictiveMode:
+    def test_cap_keeps_heaviest(self):
+        f = ProcessFilter(TMPConfig(), max_tracked=2)
+        tracked = f.evaluate(
+            [_u(1, cpu=0.5), _u(2, cpu=0.9), _u(3, cpu=0.7), _u(4, cpu=0.6)]
+        )
+        assert tracked == [2, 3]
+
+    def test_cap_not_binding(self):
+        f = ProcessFilter(TMPConfig(), max_tracked=10)
+        assert f.evaluate([_u(1, cpu=0.5), _u(2, cpu=0.5)]) == [1, 2]
+
+
+class TestBookkeeping:
+    def test_tracked_persists(self):
+        f = ProcessFilter(TMPConfig())
+        f.evaluate([_u(7, cpu=1.0)])
+        assert f.tracked == [7]
+        # Returned list is a copy.
+        f.tracked.append(99)
+        assert f.tracked == [7]
+
+    def test_evaluation_count_and_cost(self):
+        cfg = TMPConfig()
+        f = ProcessFilter(cfg)
+        f.evaluate([_u(1), _u(2), _u(3)])
+        assert f.evaluations == 1
+        assert f.time_s == 3 * cfg.costs.filter_eval_s
+
+    def test_reevaluation_replaces(self):
+        f = ProcessFilter(TMPConfig())
+        f.evaluate([_u(1, cpu=1.0)])
+        f.evaluate([_u(2, cpu=1.0)])
+        assert f.tracked == [2]

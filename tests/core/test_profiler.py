@@ -1,0 +1,173 @@
+"""Integration tests for the TMP orchestrator."""
+
+import numpy as np
+import pytest
+
+from repro.core import RankSource, TMPConfig, TMProfiler
+from repro.memsim import AccessBatch, Machine, MachineConfig
+from repro.workloads import make_workload
+
+
+def _machine(**kw):
+    defaults = dict(
+        total_frames=1 << 16,
+        tlb_entries=64,
+        l1_bytes=4096,
+        l2_bytes=8192,
+        llc_bytes=32768,
+        ibs_period=10,
+        ops_per_second=1e4,
+        n_cpus=2,
+    )
+    defaults.update(kw)
+    return Machine(MachineConfig(**defaults))
+
+
+def _run_epoch(m, prof, vma, n=1000, seed=0, pid=1):
+    rng = np.random.default_rng(seed)
+    b = AccessBatch.from_pages(rng.choice(vma.vpns, n), pid=pid)
+    r = m.run_batch(b)
+    prof.observe_batch(b, r)
+    return prof.end_epoch()
+
+
+class TestEpochFlow:
+    def test_report_contents(self):
+        m = _machine()
+        vma = m.mmap(1, 64)
+        prof = TMProfiler(m, TMPConfig())
+        prof.register_pids([1])
+        rep = _run_epoch(m, prof, vma)
+        assert rep.epoch == 0
+        assert rep.abit_pages_found == 64
+        assert rep.trace_samples == 100
+        assert rep.tracked_pids == [1]
+        assert rep.app_time_s == pytest.approx(0.1)
+
+    def test_rank_combines_sources(self):
+        m = _machine()
+        vma = m.mmap(1, 64)
+        prof = TMProfiler(m, TMPConfig())
+        prof.register_pids([1])
+        rep = _run_epoch(m, prof, vma)
+        combined = rep.rank()
+        np.testing.assert_allclose(
+            combined,
+            rep.rank(RankSource.ABIT) + rep.rank(RankSource.TRACE),
+            rtol=1e-6,
+        )
+        assert combined.sum() > 0
+
+    def test_epoch_counter_increments(self):
+        m = _machine()
+        vma = m.mmap(1, 64)
+        prof = TMProfiler(m, TMPConfig())
+        prof.register_pids([1])
+        reports = [_run_epoch(m, prof, vma, seed=i) for i in range(3)]
+        assert [r.epoch for r in reports] == [0, 1, 2]
+        assert len(prof.reports) == 3
+
+    def test_scan_interval_respected(self):
+        m = _machine()  # 1000 ops / 1e4 ops/s = 0.1 s per epoch
+        vma = m.mmap(1, 64)
+        prof = TMProfiler(m, TMPConfig(abit_scan_interval_s=0.35))
+        prof.register_pids([1])
+        scans = []
+        for i in range(8):
+            _run_epoch(m, prof, vma, seed=i)
+            scans.append(prof.abit.stats.scans)
+        # Scans only every 4th epoch (0.4 s >= 0.35 s).
+        assert scans == [1, 1, 1, 1, 2, 2, 2, 2]
+
+
+class TestGatingIntegration:
+    def test_gating_disables_drivers_in_quiet_phase(self):
+        m = _machine()
+        vma = m.mmap(1, 4096)
+        prof = TMProfiler(m, TMPConfig(hwpc_gating=True))
+        prof.register_pids([1])
+        # Busy epoch establishes the maxima.
+        _run_epoch(m, prof, vma, n=5000, seed=0)
+        # Nearly idle epoch: activity < 20% of max.
+        rep = _run_epoch(m, prof, vma, n=50, seed=1)
+        assert rep.gating is not None
+        # The *next* epoch runs with drivers gated off.
+        assert not prof.abit.enabled or not prof.trace.enabled
+
+    def test_no_gating_keeps_drivers_armed(self):
+        m = _machine()
+        vma = m.mmap(1, 4096)
+        prof = TMProfiler(m, TMPConfig(hwpc_gating=False))
+        prof.register_pids([1])
+        _run_epoch(m, prof, vma, n=5000, seed=0)
+        rep = _run_epoch(m, prof, vma, n=50, seed=1)
+        assert rep.gating is None
+        assert prof.abit.enabled and prof.trace.enabled
+
+
+class TestProcessFilterIntegration:
+    def test_small_processes_untracked(self):
+        m = _machine(n_cpus=1)
+        big = m.mmap(1, 4096)
+        small = m.mmap(2, 8)  # <10% memory
+        prof = TMProfiler(m, TMPConfig())
+        prof.register_pids([1, 2])
+        rng = np.random.default_rng(0)
+        b = AccessBatch.concat(
+            [
+                AccessBatch.from_pages(rng.choice(big.vpns, 5000), pid=1),
+                AccessBatch.from_pages(rng.choice(small.vpns, 20), pid=2),
+            ]
+        )
+        r = m.run_batch(b)
+        prof.observe_batch(b, r)
+        rep = prof.end_epoch()
+        assert rep.tracked_pids == [1]
+
+    def test_filter_disabled_tracks_registered(self):
+        m = _machine()
+        m.mmap(1, 64)
+        m.mmap(2, 8)
+        prof = TMProfiler(m, TMPConfig(process_filter=False))
+        prof.register_pids([1, 2])
+        rep = prof.end_epoch()
+        assert rep.tracked_pids == [1, 2]
+
+
+class TestOverhead:
+    def test_per_epoch_deltas_sum_to_total(self):
+        m = _machine()
+        vma = m.mmap(1, 256)
+        prof = TMProfiler(m, TMPConfig())
+        prof.register_pids([1])
+        reports = [_run_epoch(m, prof, vma, seed=i) for i in range(3)]
+        total = sum(r.overhead.total_s for r in reports)
+        assert total == pytest.approx(prof.total_overhead().total_s)
+
+    def test_overhead_fraction_small(self):
+        m = _machine()
+        vma = m.mmap(1, 256)
+        prof = TMProfiler(m, TMPConfig())
+        prof.register_pids([1])
+        for i in range(3):
+            _run_epoch(m, prof, vma, seed=i)
+        assert 0 < prof.overhead_fraction() < 0.2
+
+
+class TestWithRealWorkload:
+    def test_full_pipeline(self):
+        m = Machine(MachineConfig.scaled())
+        w = make_workload("data-caching")
+        w.attach(m)
+        prof = TMProfiler(m, TMPConfig())
+        prof.register_workload(w)
+        rng = np.random.default_rng(0)
+        for e in range(3):
+            b = w.epoch(e, rng)
+            r = m.run_batch(b)
+            prof.observe_batch(b, r)
+            rep = prof.end_epoch()
+        assert prof.store.detected_pages("either") > 100
+        assert rep.rank().sum() > 0
+        # Clients fall below the resource filter; servers are tracked.
+        assert len(rep.tracked_pids) < w.n_processes

@@ -1,0 +1,113 @@
+"""Unit tests for the trace (IBS/PEBS) driver."""
+
+import numpy as np
+import pytest
+
+from repro.core import PageStatsStore, TMPConfig, TraceDriver
+from repro.memsim import AccessBatch, Machine, MachineConfig
+
+
+def _setup(config=None, npages=512, **mach_kw):
+    defaults = dict(
+        total_frames=1 << 14,
+        tlb_entries=64,
+        l1_bytes=4096,
+        l2_bytes=8192,
+        llc_bytes=16384,
+        ibs_period=10,
+        pebs_period=10,
+        enable_pebs=True,
+        n_cpus=1,
+    )
+    defaults.update(mach_kw)
+    m = Machine(MachineConfig(**defaults))
+    vma = m.mmap(1, npages)
+    store = PageStatsStore()
+    store.resize(m.n_frames)
+    drv = TraceDriver(m, config or TMPConfig(), store)
+    return m, vma, store, drv
+
+
+def _random_batch(vma, n, seed=0):
+    rng = np.random.default_rng(seed)
+    return AccessBatch.from_pages(rng.choice(vma.vpns, n), pid=1)
+
+
+class TestDrain:
+    def test_aggregates_memory_samples(self):
+        m, vma, store, drv = _setup()
+        m.run_batch(_random_batch(vma, 1000))
+        samples = drv.drain()
+        assert samples.n == 100
+        # Cold random accesses: nearly all memory-sourced.
+        assert store.trace_total.sum() == drv.stats.memory_samples
+        assert drv.stats.memory_samples > 50
+
+    def test_memory_only_filter(self):
+        m, vma, store, drv = _setup()
+        # Hammer one page: after warmup everything hits L1.
+        m.run_batch(AccessBatch.from_pages(np.repeat(vma.vpns[:1], 2000), pid=1))
+        drv.drain()
+        # Only the cold-miss-phase samples count toward hotness.
+        assert store.trace_total.sum() < 10
+
+    def test_all_samples_mode(self):
+        cfg = TMPConfig(trace_memory_only=False)
+        m, vma, store, drv = _setup(config=cfg)
+        m.run_batch(AccessBatch.from_pages(np.repeat(vma.vpns[:1], 2000), pid=1))
+        drv.drain()
+        assert store.trace_total.sum() == 200  # every sample counts
+
+    def test_overhead_accounting(self):
+        m, vma, store, drv = _setup()
+        m.run_batch(_random_batch(vma, 1000))
+        drv.drain()
+        c = drv.config.costs
+        assert drv.stats.time_s == pytest.approx(100 * c.trace_per_sample_s)
+        assert drv.stats.samples_collected == 100
+
+    def test_interrupt_cost(self):
+        m, vma, store, drv = _setup()
+        m.ibs.buffer_records = 30
+        m.run_batch(_random_batch(vma, 1000))  # 100 samples → 3 fills
+        drv.drain()
+        assert drv.stats.interrupts_serviced == 3
+
+
+class TestEnableDisable:
+    def test_disable_stops_hardware(self):
+        m, vma, store, drv = _setup()
+        drv.enabled = False
+        assert not m.ibs.enabled
+        m.run_batch(_random_batch(vma, 1000))
+        assert drv.drain().n == 0
+
+    def test_reenable(self):
+        m, vma, store, drv = _setup()
+        drv.enabled = False
+        m.run_batch(_random_batch(vma, 500))
+        drv.enabled = True
+        m.run_batch(_random_batch(vma, 500))
+        assert drv.drain().n == 50
+
+
+class TestSourceSelection:
+    def test_ibs_default(self):
+        m, _, _, drv = _setup()
+        assert drv.sampler is m.ibs
+
+    def test_pebs(self):
+        cfg = TMPConfig(trace_source="pebs")
+        m, vma, store, drv = _setup(config=cfg)
+        assert drv.sampler is m.pebs
+        m.run_batch(_random_batch(vma, 1000))
+        samples = drv.drain()
+        assert samples.n > 0
+        # PEBS armed on LLC misses: every sample is memory-sourced.
+        assert samples.memory_samples().n == samples.n
+
+    def test_set_period(self):
+        m, vma, store, drv = _setup()
+        drv.set_period(5)
+        m.run_batch(_random_batch(vma, 1000))
+        assert drv.drain().n == 200

@@ -1,0 +1,71 @@
+"""Tests for the machine's AMAT (cycle) accounting."""
+
+import numpy as np
+import pytest
+
+from repro.memsim import AccessBatch, Machine, MachineConfig
+
+
+def _machine(**kw):
+    defaults = dict(
+        total_frames=1 << 14,
+        tlb_entries=64,
+        l1_bytes=4096,
+        l2_bytes=8192,
+        llc_bytes=16384,
+        n_cpus=1,
+    )
+    defaults.update(kw)
+    return Machine(MachineConfig(**defaults))
+
+
+class TestCycleAccounting:
+    def test_l1_resident_costs_base_latency(self):
+        m = _machine()
+        vma = m.mmap(1, 1)
+        m.run_batch(AccessBatch.from_pages(vma.vpns, pid=1))  # warm up
+        r = m.run_batch(AccessBatch.from_pages(np.repeat(vma.vpns, 10), pid=1))
+        assert r.cycles == 10 * m.config.cycles_l1
+        assert r.amat_cycles == pytest.approx(m.config.cycles_l1)
+
+    def test_cold_miss_costs_memory_plus_walk(self):
+        m = _machine()
+        vma = m.mmap(1, 1)
+        r = m.run_batch(AccessBatch.from_pages(vma.vpns, pid=1))
+        assert r.cycles == m.config.cycles_mem + m.config.cycles_walk
+
+    def test_cumulative(self):
+        m = _machine()
+        vma = m.mmap(1, 8)
+        c1 = m.run_batch(AccessBatch.from_pages(vma.vpns, pid=1)).cycles
+        c2 = m.run_batch(AccessBatch.from_pages(vma.vpns, pid=1)).cycles
+        assert m.cycles == c1 + c2
+        assert m.amat_cycles == pytest.approx(m.cycles / 16)
+
+    def test_empty_batch_zero(self):
+        m = _machine()
+        r = m.run_batch(AccessBatch.empty())
+        assert r.cycles == 0
+        assert r.amat_cycles == 0.0
+
+    def test_hostile_workload_has_higher_amat(self):
+        from repro.workloads import make_workload
+
+        def amat(name):
+            m = Machine(MachineConfig.scaled())
+            w = make_workload(name)
+            w.attach(m)
+            rng = np.random.default_rng(0)
+            for e in range(2):
+                m.run_batch(w.epoch(e, rng))
+            return m.amat_cycles
+
+        # Uniform random updates pay far more per access than the
+        # cache-friendly web service.
+        assert amat("gups") > 1.5 * amat("web-serving")
+
+    def test_custom_cycle_costs(self):
+        m = _machine(cycles_l1=1, cycles_l2=2, cycles_llc=3, cycles_mem=4, cycles_walk=5)
+        vma = m.mmap(1, 1)
+        r = m.run_batch(AccessBatch.from_pages(vma.vpns, pid=1))
+        assert r.cycles == 4 + 5

@@ -1,0 +1,83 @@
+"""Fidelity study: direct-mapped vs exact set-associative engines.
+
+The benches run capacity-equivalent direct-mapped TLBs/caches because
+they vectorize exactly (DESIGN.md §6).  These tests quantify the
+simplification on a real workload slice: global miss rates under the
+exact 8-way LRU reference engine must land close to the direct-mapped
+ones, and every profiling-visible ordering the experiments rely on
+(IBS sees more pages than the A-bit window on sparse workloads, etc.)
+must be engine-independent.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import TMPConfig, TMProfiler
+from repro.memsim import Machine, MachineConfig
+from repro.workloads import make_workload
+
+
+def _run(exact_assoc: bool, wname="data-caching", n_accesses=30_000):
+    m = Machine(
+        MachineConfig.scaled(
+            ibs_period=16,
+            exact_assoc=exact_assoc,
+            tlb_ways=8 if exact_assoc else 1,
+            cache_ways=8 if exact_assoc else 1,
+        )
+    )
+    w = make_workload(wname, accesses_per_epoch=n_accesses)
+    w.attach(m)
+    prof = TMProfiler(m, TMPConfig())
+    prof.register_workload(w)
+    rng = np.random.default_rng(0)
+    for e in range(2):
+        b = w.epoch(e, rng)
+        r = m.run_batch(b)
+        prof.observe_batch(b, r)
+        prof.end_epoch()
+    return m, prof
+
+
+@pytest.fixture(scope="module")
+def engines():
+    return _run(False), _run(True)
+
+
+class TestAssociativityFidelity:
+    def test_tlb_miss_rate_close(self, engines):
+        (dm, _), (ex, _) = engines
+        a = dm.tlb.stats.miss_rate
+        b = ex.tlb.stats.miss_rate
+        # 8-way LRU has fewer conflict misses; direct-mapped must stay
+        # within a modest factor.
+        assert b <= a
+        assert a < b + 0.15
+
+    def test_llc_miss_rate_close(self, engines):
+        (dm, _), (ex, _) = engines
+        a = dm.caches.llc.stats.miss_rate
+        b = ex.caches.llc.stats.miss_rate
+        assert abs(a - b) < 0.2
+
+    def test_profiling_orderings_engine_independent(self, engines):
+        (_, p_dm), (_, p_ex) = engines
+        for prof in (p_dm, p_ex):
+            s = prof.store
+            # The Zipf head dominates trace detections either way.
+            assert s.detected_pages("trace") > 0
+            assert s.detected_pages("abit") > 0
+            assert s.detected_pages("both") <= min(
+                s.detected_pages("trace"), s.detected_pages("abit")
+            )
+
+    def test_detected_counts_same_ballpark(self, engines):
+        (_, p_dm), (_, p_ex) = engines
+        a = p_dm.store.detected_pages("trace")
+        b = p_ex.store.detected_pages("trace")
+        assert 0.5 < a / b < 2.0
+
+    def test_exact_engine_amat_not_higher(self, engines):
+        (dm, _), (ex, _) = engines
+        # Associativity can only reduce conflict misses → lower AMAT.
+        assert ex.amat_cycles <= dm.amat_cycles * 1.05

@@ -1,0 +1,111 @@
+"""Unit tests for the cache hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.memsim.cache import CacheHierarchy, CacheLevel
+from repro.memsim.events import DataSource
+
+
+def _lines(*vals):
+    return np.asarray(vals, dtype=np.uint64)
+
+
+class TestCacheLevel:
+    def test_capacity_in_lines(self):
+        lvl = CacheLevel("L1", 32 * 1024)
+        assert lvl.capacity_lines == 512
+
+    def test_hit_miss_stats(self):
+        lvl = CacheLevel("x", 64 * 64)  # 64 lines
+        lvl.access(_lines(1, 1, 2))
+        assert lvl.stats.lookups == 3
+        assert lvl.stats.hits == 1
+        assert lvl.stats.miss_rate == pytest.approx(2 / 3)
+
+    def test_flush(self):
+        lvl = CacheLevel("x", 64 * 64)
+        lvl.access(_lines(1))
+        lvl.flush()
+        assert not lvl.access(_lines(1))[0]
+
+
+class TestHierarchy:
+    def _small(self):
+        # 4-line L1, 16-line L2, 64-line LLC.
+        return CacheHierarchy(l1_bytes=256, l2_bytes=1024, llc_bytes=4096)
+
+    def test_cold_access_reaches_memory(self):
+        h = self._small()
+        src = h.access(_lines(100))
+        assert src[0] == DataSource.MEMORY
+
+    def test_repeat_hits_l1(self):
+        h = self._small()
+        h.access(_lines(100))
+        src = h.access(_lines(100))
+        assert src[0] == DataSource.L1
+
+    def test_l1_victim_found_in_l2(self):
+        h = self._small()
+        h.access(_lines(0))
+        # Evict line 0 from the 4-line L1 (line 4 conflicts), but the
+        # 16-line L2 holds both.
+        h.access(_lines(4))
+        src = h.access(_lines(0))
+        assert src[0] == DataSource.L2
+
+    def test_llc_catch(self):
+        h = self._small()
+        h.access(_lines(0))
+        # Conflict line 0 out of L1 (4 sets) and L2 (16 sets) but not LLC (64).
+        h.access(_lines(16))
+        src = h.access(_lines(0))
+        assert src[0] == DataSource.LLC
+
+    def test_miss_path_installs_all_levels(self):
+        h = self._small()
+        h.access(_lines(7))
+        assert h.levels[0].stats.misses == 1
+        assert h.levels[1].stats.misses == 1
+        assert h.levels[2].stats.misses == 1
+        # Now resident everywhere: an L1 hit doesn't probe lower levels.
+        h.access(_lines(7))
+        assert h.levels[1].stats.lookups == 1
+
+    def test_order_preserved_within_batch(self):
+        h = self._small()
+        src = h.access(_lines(9, 9, 9))
+        assert src[0] == DataSource.MEMORY
+        assert src[1] == DataSource.L1
+        assert src[2] == DataSource.L1
+
+    def test_empty_batch(self):
+        h = self._small()
+        assert h.access(np.zeros(0, dtype=np.uint64)).size == 0
+
+    def test_flush_all_levels(self):
+        h = self._small()
+        h.access(_lines(3))
+        h.flush()
+        assert h.access(_lines(3))[0] == DataSource.MEMORY
+
+    def test_llc_property(self):
+        h = self._small()
+        assert h.llc is h.levels[2]
+        assert h.llc.name == "LLC"
+
+    def test_working_set_larger_than_llc_misses(self):
+        h = self._small()
+        lines = np.arange(128, dtype=np.uint64)  # 2x LLC capacity
+        h.access(lines)
+        src = h.access(lines)
+        # Streaming through 2x LLC: every line evicted before reuse.
+        assert (src == DataSource.MEMORY).all()
+
+    def test_working_set_fits_llc_hits(self):
+        h = self._small()
+        lines = np.arange(32, dtype=np.uint64)  # half the LLC
+        h.access(lines)
+        src = h.access(lines)
+        assert (src != DataSource.MEMORY).all()

@@ -1,0 +1,110 @@
+"""Unit tests for AccessBatch / SampleBatch containers."""
+
+import numpy as np
+import pytest
+
+from repro.memsim.events import AccessBatch, DataSource, SampleBatch, concat_samples
+
+
+class TestAccessBatch:
+    def test_from_pages_broadcast(self):
+        b = AccessBatch.from_pages([1, 2, 3], is_store=True, pid=7, cpu=2)
+        assert b.n == 3
+        assert b.is_store.all()
+        assert (b.pid == 7).all()
+        assert (b.cpu == 2).all()
+
+    def test_from_pages_addresses(self):
+        b = AccessBatch.from_pages([1], offset=100)
+        assert b.vaddr[0] == 4096 + 100
+
+    def test_column_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="is_store"):
+            AccessBatch(
+                vaddr=np.zeros(3, dtype=np.uint64),
+                is_store=np.zeros(2, dtype=bool),
+                pid=0,
+                cpu=0,
+            )
+
+    def test_len(self):
+        assert len(AccessBatch.from_pages([1, 2])) == 2
+        assert len(AccessBatch.empty()) == 0
+
+    def test_take_preserves_order(self):
+        b = AccessBatch.from_pages([10, 20, 30])
+        sub = b.take([2, 0])
+        np.testing.assert_array_equal(sub.vaddr >> 12, [30, 10])
+
+    def test_concat(self):
+        a = AccessBatch.from_pages([1], pid=1)
+        b = AccessBatch.from_pages([2, 3], pid=2)
+        c = AccessBatch.concat([a, b])
+        assert c.n == 3
+        np.testing.assert_array_equal(c.pid, [1, 2, 2])
+
+    def test_concat_empty_list(self):
+        assert AccessBatch.concat([]).n == 0
+
+    def test_default_ip_zero(self):
+        b = AccessBatch.from_pages([1, 2])
+        assert (b.ip == 0).all()
+
+    def test_per_access_columns(self):
+        b = AccessBatch(
+            vaddr=np.array([0, 4096], dtype=np.uint64),
+            is_store=np.array([True, False]),
+            pid=np.array([1, 2]),
+            cpu=np.array([0, 1]),
+        )
+        assert b.is_store[0] and not b.is_store[1]
+        np.testing.assert_array_equal(b.pid, [1, 2])
+
+
+def _samples(n, ds=DataSource.MEMORY):
+    return SampleBatch(
+        op_idx=np.arange(n, dtype=np.uint64),
+        cpu=np.zeros(n, dtype=np.int16),
+        pid=np.ones(n, dtype=np.int32),
+        ip=np.zeros(n, dtype=np.uint64),
+        vaddr=np.arange(n, dtype=np.uint64) * 4096,
+        paddr=np.arange(n, dtype=np.uint64) * 4096,
+        is_store=np.zeros(n, dtype=bool),
+        tlb_hit=np.zeros(n, dtype=bool),
+        data_source=np.full(n, np.uint8(ds), dtype=np.uint8),
+    )
+
+
+class TestSampleBatch:
+    def test_pfn(self):
+        s = _samples(3)
+        np.testing.assert_array_equal(s.pfn, [0, 1, 2])
+
+    def test_memory_samples_filter(self):
+        s = _samples(4)
+        s.data_source[1] = np.uint8(DataSource.L1)
+        mem = s.memory_samples()
+        assert mem.n == 3
+        np.testing.assert_array_equal(mem.op_idx, [0, 2, 3])
+
+    def test_empty(self):
+        assert SampleBatch.empty().n == 0
+        assert SampleBatch.empty().memory_samples().n == 0
+
+    def test_concat_samples(self):
+        merged = concat_samples([_samples(2), SampleBatch.empty(), _samples(3)])
+        assert merged.n == 5
+
+    def test_concat_samples_all_empty(self):
+        assert concat_samples([SampleBatch.empty()]).n == 0
+        assert concat_samples([]).n == 0
+
+    def test_take(self):
+        s = _samples(5)
+        sub = s.take(s.op_idx >= 3)
+        assert sub.n == 2
+
+
+class TestDataSource:
+    def test_ordering_by_depth(self):
+        assert DataSource.L1 < DataSource.L2 < DataSource.LLC < DataSource.MEMORY

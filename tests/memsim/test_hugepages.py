@@ -1,0 +1,164 @@
+"""Tests for transparent-huge-page (2 MiB) mappings.
+
+THP changes the granularity of everything PTE-borne: one A/D bit, one
+TLB entry, one scan slot per 512 frames — while physical addresses (and
+therefore IBS/PEBS samples and cache behaviour) stay 4 KiB-resolved.
+This is the asymmetry that collapses A-bit detection counts on
+THP-backed heaps (the paper's flat Table IV HPC rows).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ABitDriver, PageStatsStore, TMPConfig, TMProfiler
+from repro.memsim import AccessBatch, Machine, MachineConfig
+from repro.memsim.frames import FrameAllocator
+from repro.memsim.page_table import PageTable
+from repro.memsim.pte import is_accessed
+
+
+def _machine(**kw):
+    defaults = dict(
+        total_frames=1 << 16, tlb_entries=64, ibs_period=10, n_cpus=1
+    )
+    defaults.update(kw)
+    return Machine(MachineConfig(**defaults))
+
+
+class TestHugeVMA:
+    def test_unit_accounting(self):
+        pt = PageTable(1)
+        vma = pt.mmap(0x1000, 1024, FrameAllocator(1 << 16), page_order=9)
+        assert vma.unit_pages == 512
+        assert vma.n_units == 2
+        assert pt.n_pages == 2  # PTEs, not frames
+        assert pt.total_frames == 1024
+
+    def test_partial_last_unit(self):
+        pt = PageTable(1)
+        vma = pt.mmap(0x1000, 513, FrameAllocator(1 << 16), page_order=9)
+        assert vma.n_units == 2
+
+    def test_translate_frames_4k_slots_2m(self):
+        pt = PageTable(1)
+        vma = pt.mmap(0x1000, 1024, FrameAllocator(1 << 16), page_order=9)
+        vpns = np.array([0x1000, 0x1001, 0x1000 + 511, 0x1000 + 512], dtype=np.uint64)
+        pfns, slots, tlb_vpns = pt.translate_ex(vpns)
+        # Frames are 4 KiB-resolved.
+        np.testing.assert_array_equal(pfns, vma.pfn_base + np.array([0, 1, 511, 512]))
+        # All of the first unit shares slot 0; the next unit is slot 1.
+        np.testing.assert_array_equal(slots, [0, 0, 0, 1])
+        # TLB tags are unit heads.
+        np.testing.assert_array_equal(tlb_vpns, [0x1000, 0x1000, 0x1000, 0x1000 + 512])
+
+    def test_slot_maps_to_unit_head(self):
+        pt = PageTable(1)
+        vma = pt.mmap(0x1000, 1024, FrameAllocator(1 << 16), page_order=9)
+        np.testing.assert_array_equal(pt.slot_to_vpn(np.array([0, 1])), [0x1000, 0x1200])
+        np.testing.assert_array_equal(
+            pt.slot_to_pfn(np.array([0, 1])), [vma.pfn_base, vma.pfn_base + 512]
+        )
+
+    def test_mixed_orders_in_one_table(self):
+        pt = PageTable(1)
+        alloc = FrameAllocator(1 << 16)
+        huge = pt.mmap(0x1000, 512, alloc, page_order=9)
+        base = pt.mmap(0x8000, 4, alloc, page_order=0)
+        pfns, slots, tlb_vpns = pt.translate_ex(
+            np.array([0x1100, 0x8002], dtype=np.uint64)
+        )
+        assert slots[0] == 0          # inside the huge unit
+        assert slots[1] == 1 + 2      # huge unit slots come first
+        assert tlb_vpns[0] == 0x1000
+        assert tlb_vpns[1] == 0x8002
+
+    def test_bad_order(self):
+        pt = PageTable(1)
+        with pytest.raises(ValueError):
+            pt.mmap(0x1000, 4, FrameAllocator(16), page_order=-1)
+
+
+class TestHugeTLBBehaviour:
+    def test_one_entry_covers_whole_unit(self):
+        m = _machine()
+        vma = m.mmap(1, 1024, page_order=9)
+        # Touch 100 distinct 4K pages within one 2 MiB unit.
+        vpns = vma.start_vpn + np.arange(100, dtype=np.uint64)
+        r = m.run_batch(AccessBatch.from_pages(vpns, pid=1))
+        # One cold miss for the unit, then hits: huge TLB reach.
+        assert int((~r.tlb_hit).sum()) == 1
+        assert m.ptw.stats.walks == 1
+
+    def test_base_pages_miss_per_page(self):
+        m = _machine()
+        vma = m.mmap(1, 1024, page_order=0)
+        vpns = vma.start_vpn + np.arange(100, dtype=np.uint64)
+        r = m.run_batch(AccessBatch.from_pages(vpns, pid=1))
+        assert int((~r.tlb_hit).sum()) == 100
+
+    def test_a_bit_per_unit(self):
+        m = _machine()
+        vma = m.mmap(1, 1024, page_order=9)
+        vpns = vma.start_vpn + np.arange(600, dtype=np.uint64)  # spans 2 units
+        m.run_batch(AccessBatch.from_pages(vpns, pid=1))
+        acc = is_accessed(m.page_tables[1].flags)
+        assert acc.sum() == 2
+
+
+class TestHugeProfilingAsymmetry:
+    def test_abit_counts_units_ibs_counts_frames(self):
+        """The Table IV THP effect: the A-bit scan detects mapping
+        units while IBS detects 4 KiB frames."""
+        m = _machine(ibs_period=4)
+        vma = m.mmap(1, 2048, page_order=9)  # 4 huge units
+        prof = TMProfiler(m, TMPConfig())
+        prof.register_pids([1])
+        rng = np.random.default_rng(0)
+        b = AccessBatch.from_pages(rng.choice(vma.vpns, 4000), pid=1)
+        r = m.run_batch(b)
+        prof.observe_batch(b, r)
+        prof.end_epoch()
+        abit = prof.store.detected_pages("abit")
+        trace = prof.store.detected_pages("trace")
+        assert abit == 4            # one detection per huge unit
+        assert trace > 100          # hundreds of distinct frames sampled
+
+    def test_abit_scan_visits_few_ptes(self):
+        m = _machine()
+        vma = m.mmap(1, 2048, page_order=9)
+        store = PageStatsStore()
+        store.resize(m.n_frames)
+        drv = ABitDriver(m, TMPConfig(), store)
+        m.run_batch(AccessBatch.from_pages(vma.vpns[:1024], pid=1))
+        drv.scan([1])
+        assert drv.stats.ptes_visited == 4  # the whole table is 4 PTEs
+
+    def test_workload_thp_option(self):
+        from repro.workloads import GUPS
+
+        m = Machine(MachineConfig.scaled())
+        w = GUPS(footprint_pages=8192, thp=True)
+        w.attach(m)
+        pt = m.page_tables[w.pids[0]]
+        table_vma = pt.find_vma(w.processes[0].vma("table").start_vpn)
+        assert table_vma.page_order == 9
+        # Streams stay base-paged.
+        assert w.processes[0].vma("stream").page_order == 0
+        r = m.run_batch(w.epoch(0, np.random.default_rng(0)))
+        assert r.n > 0
+
+    @pytest.mark.parametrize("name", ["xsbench", "lulesh", "graph500"])
+    def test_thp_parity_across_hpc_workloads(self, name):
+        from repro.workloads import make_workload
+
+        m = Machine(MachineConfig.scaled())
+        w = make_workload(name, thp=True)
+        w.attach(m)
+        pt = m.page_tables[w.pids[0]]
+        # The big allocation is huge-paged...
+        assert any(v.page_order == 9 for v in pt.vmas)
+        # ...which collapses the PTE count well below the frame count
+        # (graph500 keeps base-paged frontier/visited arrays alongside).
+        assert pt.n_pages < pt.total_frames / 3
+        r = m.run_batch(w.epoch(0, np.random.default_rng(0)))
+        assert r.n > 0

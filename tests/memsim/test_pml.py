@@ -1,0 +1,72 @@
+"""Unit tests for page-modification logging."""
+
+import numpy as np
+import pytest
+
+from repro.memsim.frames import FrameAllocator
+from repro.memsim.page_table import PageTable
+from repro.memsim.pml import PML_LOG_ENTRIES, PMLogger
+from repro.memsim.ptw import PageTableWalker
+from repro.memsim.pte import is_dirty
+
+
+class TestLog:
+    def test_logs_pfns(self):
+        pml = PMLogger()
+        pml.observe_dirty(np.array([3, 9], dtype=np.uint64))
+        np.testing.assert_array_equal(pml.drain(), [3, 9])
+
+    def test_notification_per_fill(self):
+        pml = PMLogger(log_entries=4)
+        pml.observe_dirty(np.arange(10, dtype=np.uint64))
+        assert pml.stats.notifications == 2
+        assert pml.stats.logged == 10
+
+    def test_disabled(self):
+        pml = PMLogger()
+        pml.enabled = False
+        pml.observe_dirty(np.array([1], dtype=np.uint64))
+        assert pml.drain().size == 0
+
+    def test_empty_observe(self):
+        pml = PMLogger()
+        pml.observe_dirty(np.zeros(0, dtype=np.uint64))
+        assert pml.pending == 0
+
+    def test_drain_empties(self):
+        pml = PMLogger()
+        pml.observe_dirty(np.array([1], dtype=np.uint64))
+        pml.drain()
+        assert pml.pending == 0
+        assert pml.drain().size == 0
+
+    def test_architectural_default_size(self):
+        assert PML_LOG_ENTRIES == 512
+        assert PMLogger().log_entries == 512
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            PMLogger(log_entries=0)
+
+
+class TestClearDirty:
+    def test_rearm_cycle(self):
+        pt = PageTable(1)
+        pt.mmap(0x100, 8, FrameAllocator(64))
+        w = PageTableWalker()
+        pml = PMLogger()
+
+        newly = w.dirty_updates(pt, np.array([1, 2], dtype=np.int64))
+        pml.observe_dirty(pt.slot_to_pfn(newly))
+        assert pml.pending == 2
+
+        # Stores to already-dirty pages log nothing.
+        newly = w.dirty_updates(pt, np.array([1], dtype=np.int64))
+        assert newly.size == 0
+
+        # Clearing D bits re-arms logging.
+        cleared = PMLogger.clear_dirty(pt)
+        assert cleared == 2
+        assert not is_dirty(pt.flags).any()
+        newly = w.dirty_updates(pt, np.array([1], dtype=np.int64))
+        assert newly.size == 1

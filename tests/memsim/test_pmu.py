@@ -1,0 +1,108 @@
+"""Unit tests for the PMU, including multiplexing semantics."""
+
+import pytest
+
+from repro.memsim.pmu import EVENT_NAMES, PMU
+
+
+class TestConfigure:
+    def test_unknown_event_rejected(self):
+        pmu = PMU()
+        with pytest.raises(ValueError, match="unknown"):
+            pmu.configure(["bogus_event"])
+
+    def test_duplicate_rejected(self):
+        pmu = PMU()
+        with pytest.raises(ValueError, match="duplicate"):
+            pmu.configure(["llc_miss", "llc_miss"])
+
+    def test_bad_register_count(self):
+        with pytest.raises(ValueError):
+            PMU(n_counters=0)
+
+    def test_events_property_is_copy(self):
+        pmu = PMU()
+        pmu.configure(["llc_miss"])
+        pmu.events.append("dtlb_miss")
+        assert pmu.events == ["llc_miss"]
+
+
+class TestNoMultiplexing:
+    def test_exact_counts(self):
+        pmu = PMU(n_counters=4)
+        pmu.configure(["llc_miss", "dtlb_miss"])
+        pmu.update({"llc_miss": 10, "dtlb_miss": 5})
+        pmu.update({"llc_miss": 3, "dtlb_miss": 0})
+        r = pmu.read("llc_miss")
+        assert r.estimate == 13
+        assert r.duty_cycle == 1.0
+        assert not r.multiplexed
+        assert pmu.read("dtlb_miss").estimate == 5
+
+    def test_is_multiplexing_flag(self):
+        pmu = PMU(n_counters=2)
+        pmu.configure(["llc_miss", "dtlb_miss"])
+        assert not pmu.is_multiplexing
+        pmu.configure(["llc_miss", "dtlb_miss", "retired_ops"])
+        assert pmu.is_multiplexing
+
+    def test_read_unprogrammed_raises(self):
+        pmu = PMU()
+        pmu.configure(["llc_miss"])
+        with pytest.raises(KeyError):
+            pmu.read("dtlb_miss")
+
+
+class TestMultiplexing:
+    def test_duty_scaling_recovers_uniform_rate(self):
+        # 4 events, 2 registers → each event active ~half the slices.
+        pmu = PMU(n_counters=2)
+        events = ["llc_miss", "dtlb_miss", "retired_ops", "retired_loads"]
+        pmu.configure(events)
+        for _ in range(100):
+            pmu.update({e: 10 for e in events})
+        for e in events:
+            r = pmu.read(e)
+            assert r.multiplexed
+            assert r.duty_cycle == pytest.approx(0.5, abs=0.02)
+            assert r.estimate == pytest.approx(1000, rel=0.05)
+
+    def test_bursty_event_estimate_error(self):
+        # A burst can fall entirely in another event's slice: the scaled
+        # estimate is then wrong — the verbosity loss from Table I.
+        pmu = PMU(n_counters=1)
+        pmu.configure(["llc_miss", "dtlb_miss"])
+        pmu.update({"llc_miss": 0, "dtlb_miss": 0})    # llc slice
+        pmu.update({"llc_miss": 100, "dtlb_miss": 0})  # dtlb slice: burst lost
+        assert pmu.read("llc_miss").estimate == 0
+
+    def test_all_events_make_progress(self):
+        pmu = PMU(n_counters=3)
+        pmu.configure(list(EVENT_NAMES))
+        for _ in range(32):
+            pmu.update({e: 1 for e in EVENT_NAMES})
+        for e in EVENT_NAMES:
+            assert pmu.read(e).duty_cycle > 0
+
+
+class TestIntervals:
+    def test_read_and_reset(self):
+        pmu = PMU(n_counters=4)
+        pmu.configure(["llc_miss"])
+        pmu.update({"llc_miss": 7})
+        first = pmu.read_and_reset()
+        assert first["llc_miss"].estimate == 7
+        pmu.update({"llc_miss": 2})
+        assert pmu.read("llc_miss").estimate == 2
+
+    def test_read_all(self):
+        pmu = PMU(n_counters=4)
+        pmu.configure(["llc_miss", "dtlb_miss"])
+        pmu.update({"llc_miss": 1, "dtlb_miss": 2})
+        out = pmu.read_all()
+        assert set(out) == {"llc_miss", "dtlb_miss"}
+
+    def test_zero_slices_reads_zero(self):
+        pmu = PMU()
+        pmu.configure(["llc_miss"])
+        assert pmu.read("llc_miss").estimate == 0.0

@@ -1,0 +1,78 @@
+"""Unit tests for the page-table walker's A/D/poison semantics."""
+
+import numpy as np
+import pytest
+
+from repro.memsim.frames import FrameAllocator
+from repro.memsim.page_table import PageTable
+from repro.memsim.ptw import PageTableWalker
+from repro.memsim.pte import PTE_POISON, is_accessed, is_dirty
+
+
+@pytest.fixture
+def pt():
+    table = PageTable(1)
+    table.mmap(0x100, 16, FrameAllocator(1 << 16))
+    return table
+
+
+class TestFillWalks:
+    def test_sets_accessed_bits(self, pt):
+        w = PageTableWalker()
+        w.fill_walks(pt, np.array([0, 3, 3], dtype=np.int64))
+        acc = is_accessed(pt.flags)
+        assert acc[0] and acc[3]
+        assert not acc[1]
+
+    def test_counts_walks_per_miss(self, pt):
+        w = PageTableWalker()
+        w.fill_walks(pt, np.array([0, 3, 3], dtype=np.int64))
+        assert w.stats.walks == 3
+
+    def test_a_bits_set_counts_transitions_only(self, pt):
+        w = PageTableWalker()
+        w.fill_walks(pt, np.array([0], dtype=np.int64))
+        w.fill_walks(pt, np.array([0], dtype=np.int64))
+        assert w.stats.a_bits_set == 1
+
+    def test_empty(self, pt):
+        w = PageTableWalker()
+        assert w.fill_walks(pt, np.zeros(0, dtype=np.int64)).size == 0
+        assert w.stats.walks == 0
+
+    def test_poison_fault_mask(self, pt):
+        w = PageTableWalker()
+        pt.flags[5] |= PTE_POISON
+        mask = w.fill_walks(pt, np.array([4, 5, 5, 6], dtype=np.int64))
+        np.testing.assert_array_equal(mask, [False, True, True, False])
+        assert w.stats.poison_faults == 2
+
+    def test_poisoned_pte_still_gets_a_bit(self, pt):
+        w = PageTableWalker()
+        pt.flags[5] |= PTE_POISON
+        w.fill_walks(pt, np.array([5], dtype=np.int64))
+        assert is_accessed(pt.flags)[5]
+
+
+class TestDirtyUpdates:
+    def test_sets_dirty_on_store(self, pt):
+        w = PageTableWalker()
+        newly = w.dirty_updates(pt, np.array([2, 2, 7], dtype=np.int64))
+        np.testing.assert_array_equal(np.sort(newly), [2, 7])
+        assert is_dirty(pt.flags)[2] and is_dirty(pt.flags)[7]
+
+    def test_already_dirty_not_relogged(self, pt):
+        w = PageTableWalker()
+        w.dirty_updates(pt, np.array([2], dtype=np.int64))
+        newly = w.dirty_updates(pt, np.array([2], dtype=np.int64))
+        assert newly.size == 0
+        assert w.stats.d_bits_set == 1
+
+    def test_dirty_independent_of_accessed(self, pt):
+        w = PageTableWalker()
+        w.dirty_updates(pt, np.array([2], dtype=np.int64))
+        assert not is_accessed(pt.flags)[2]
+
+    def test_empty(self, pt):
+        w = PageTableWalker()
+        assert w.dirty_updates(pt, np.zeros(0, dtype=np.int64)).size == 0

@@ -1,0 +1,126 @@
+"""Unit tests for the Resource-Control (CMT/MBM) monitor."""
+
+import numpy as np
+import pytest
+
+from repro.memsim import AccessBatch, Machine, MachineConfig
+from repro.memsim.address import LINE_SIZE
+from repro.memsim.resctrl import ResctrlMonitor
+
+
+class TestAssignment:
+    def test_auto_rmids(self):
+        mon = ResctrlMonitor(llc_bytes=1 << 20)
+        r1 = mon.assign([1, 2])
+        r2 = mon.assign([3])
+        assert r1 != r2
+        assert mon.rmid_of(1) == r1
+        assert mon.rmid_of(3) == r2
+
+    def test_unassigned_is_rmid_zero(self):
+        mon = ResctrlMonitor(llc_bytes=1 << 20)
+        assert mon.rmid_of(42) == 0
+
+    def test_explicit_rmid(self):
+        mon = ResctrlMonitor(llc_bytes=1 << 20)
+        assert mon.assign([1], rmid=7) == 7
+
+    def test_rmid_exhaustion(self):
+        mon = ResctrlMonitor(llc_bytes=1 << 20, max_rmids=2)
+        mon.assign([1])
+        with pytest.raises(RuntimeError, match="RMID"):
+            mon.assign([2])
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            ResctrlMonitor(llc_bytes=1, decay=1.0)
+        with pytest.raises(ValueError):
+            ResctrlMonitor(llc_bytes=1, max_rmids=0)
+
+
+class TestAccounting:
+    def _feed(self, mon, pid, n_mem):
+        pids = np.full(n_mem, pid, dtype=np.int32)
+        mon.observe(pids, np.ones(n_mem, dtype=bool))
+
+    def test_mbm_counts_traffic(self):
+        mon = ResctrlMonitor(llc_bytes=1 << 20)
+        r = mon.assign([1])
+        self._feed(mon, 1, 100)
+        reading = mon.read_and_reset()[r]
+        assert reading.mbm_bytes == 100 * LINE_SIZE
+
+    def test_interval_reset(self):
+        mon = ResctrlMonitor(llc_bytes=1 << 20)
+        r = mon.assign([1])
+        self._feed(mon, 1, 100)
+        mon.read_and_reset()
+        reading = mon.read_and_reset()[r]
+        assert reading.mbm_bytes == 0
+
+    def test_unassigned_traffic_ignored(self):
+        mon = ResctrlMonitor(llc_bytes=1 << 20)
+        r = mon.assign([1])
+        self._feed(mon, 99, 50)  # not in any group
+        assert mon.read_and_reset()[r].mbm_bytes == 0
+
+    def test_cache_hits_not_counted(self):
+        mon = ResctrlMonitor(llc_bytes=1 << 20)
+        r = mon.assign([1])
+        pids = np.full(10, 1, dtype=np.int32)
+        mon.observe(pids, np.zeros(10, dtype=bool))  # all hits
+        assert mon.read_and_reset()[r].mbm_bytes == 0
+
+    def test_occupancy_share(self):
+        mon = ResctrlMonitor(llc_bytes=64 * LINE_SIZE, decay=0.0)
+        r1 = mon.assign([1])
+        r2 = mon.assign([2])
+        self._feed(mon, 1, 300)
+        self._feed(mon, 2, 100)
+        readings = mon.read_and_reset()
+        # Heavy filler holds ~3x the light one's occupancy.
+        assert readings[r1].llc_occupancy_bytes > 2 * readings[r2].llc_occupancy_bytes
+        assert readings[r1].llc_occupancy_bytes <= 64 * LINE_SIZE
+
+    def test_occupancy_bounded_by_fills(self):
+        mon = ResctrlMonitor(llc_bytes=1 << 30, decay=0.0)
+        r = mon.assign([1])
+        self._feed(mon, 1, 2)
+        reading = mon.read_and_reset()[r]
+        assert reading.llc_occupancy_bytes <= 2 * LINE_SIZE
+
+
+class TestMachineIntegration:
+    def test_end_to_end(self):
+        m = Machine(
+            MachineConfig(
+                total_frames=1 << 14,
+                tlb_entries=64,
+                l1_bytes=4096,
+                l2_bytes=8192,
+                llc_bytes=16384,
+                n_cpus=1,
+            )
+        )
+        mon = m.enable_resctrl()
+        v1 = m.mmap(1, 512)
+        v2 = m.mmap(2, 16)
+        rmid_big = mon.assign([1])
+        rmid_small = mon.assign([2])
+        rng = np.random.default_rng(0)
+        b = AccessBatch.concat(
+            [
+                AccessBatch.from_pages(rng.choice(v1.vpns, 2000), pid=1),
+                AccessBatch.from_pages(np.repeat(v2.vpns[:1], 100), pid=2),
+            ]
+        )
+        m.run_batch(b)
+        readings = mon.read_and_reset()
+        # The streaming process moves far more memory bandwidth.
+        assert readings[rmid_big].mbm_bytes > 10 * readings[rmid_small].mbm_bytes
+
+    def test_enable_idempotent(self):
+        m = Machine(MachineConfig(total_frames=1 << 10))
+        a = m.enable_resctrl()
+        b = m.enable_resctrl()
+        assert a is b

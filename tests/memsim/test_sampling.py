@@ -1,0 +1,167 @@
+"""Unit tests for IBS/PEBS sampling engines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memsim.events import AccessBatch, DataSource
+from repro.memsim.ibs import IBSSampler
+from repro.memsim.pebs import PEBSSampler
+
+
+def _meta(batch, ds=DataSource.MEMORY):
+    n = batch.n
+    return dict(
+        paddr=batch.vaddr.copy(),
+        tlb_hit=np.zeros(n, dtype=bool),
+        data_source=np.full(n, np.uint8(ds), dtype=np.uint8),
+    )
+
+
+def _batch(n, pid=1):
+    return AccessBatch.from_pages(np.arange(n, dtype=np.uint64), pid=pid)
+
+
+class TestIBSSelection:
+    def test_every_nth_op(self):
+        ibs = IBSSampler(period=10)
+        b = _batch(25)
+        ibs.observe(b, op_base=0, **_meta(b))
+        s = ibs.drain()
+        np.testing.assert_array_equal(s.op_idx, [9, 19])
+
+    def test_phase_continues_across_batches(self):
+        ibs = IBSSampler(period=10)
+        for i in range(5):
+            b = _batch(5)
+            ibs.observe(b, op_base=5 * i, **_meta(b))
+        s = ibs.drain()
+        np.testing.assert_array_equal(s.op_idx, [9, 19])
+
+    def test_period_one_samples_everything(self):
+        ibs = IBSSampler(period=1)
+        b = _batch(7)
+        ibs.observe(b, op_base=0, **_meta(b))
+        assert ibs.drain().n == 7
+
+    def test_disabled_counter_does_not_tick(self):
+        ibs = IBSSampler(period=10)
+        ibs.enabled = False
+        b = _batch(100)
+        ibs.observe(b, op_base=0, **_meta(b))
+        assert ibs.drain().n == 0
+        ibs.enabled = True
+        ibs.observe(b, op_base=100, **_meta(b))
+        # Counter resumed from where it stopped: first sample at op 9 of
+        # the re-enabled stream.
+        assert ibs.drain().op_idx[0] == 109
+
+    def test_record_fields(self):
+        ibs = IBSSampler(period=5)
+        b = AccessBatch.from_pages(
+            np.arange(10, dtype=np.uint64), is_store=True, pid=42, cpu=3, ip=7
+        )
+        meta = _meta(b)
+        meta["tlb_hit"][4] = True
+        ibs.observe(b, op_base=100, **meta)
+        s = ibs.drain()
+        assert s.n == 2
+        assert s.op_idx[0] == 104
+        assert s.pid[0] == 42
+        assert s.cpu[0] == 3
+        assert s.ip[0] == 7
+        assert s.is_store.all()
+        assert s.tlb_hit[0]
+
+    def test_set_period(self):
+        ibs = IBSSampler(period=1000)
+        ibs.set_period(2)
+        b = _batch(10)
+        ibs.observe(b, op_base=0, **_meta(b))
+        assert ibs.drain().n == 5
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            IBSSampler(period=0)
+        with pytest.raises(ValueError):
+            IBSSampler(buffer_records=0)
+        with pytest.raises(ValueError):
+            IBSSampler().set_period(0)
+
+    @given(
+        period=st.integers(1, 50),
+        sizes=st.lists(st.integers(0, 200), min_size=1, max_size=10),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_sample_positions_are_exact_multiples(self, period, sizes):
+        """Across arbitrary batch splits, samples land at ops
+        period-1, 2*period-1, ... of the global stream."""
+        ibs = IBSSampler(period=period)
+        base = 0
+        for n in sizes:
+            b = _batch(n)
+            ibs.observe(b, op_base=base, **_meta(b))
+            base += n
+        got = ibs.drain().op_idx
+        expected = np.arange(period - 1, base, period, dtype=np.uint64)
+        np.testing.assert_array_equal(got, expected)
+
+
+class TestRingBuffer:
+    def test_interrupt_per_fill(self):
+        ibs = IBSSampler(period=1, buffer_records=10)
+        b = _batch(35)
+        ibs.observe(b, op_base=0, **_meta(b))
+        assert ibs.stats.interrupts == 3
+        assert ibs.pending == 35
+
+    def test_drain_resets_pending(self):
+        ibs = IBSSampler(period=1, buffer_records=10)
+        b = _batch(5)
+        ibs.observe(b, op_base=0, **_meta(b))
+        ibs.drain()
+        assert ibs.pending == 0
+        assert ibs.drain().n == 0
+
+
+class TestPEBS:
+    def test_counts_only_armed_events(self):
+        pebs = PEBSSampler(period=2, event_source=DataSource.MEMORY)
+        b = _batch(8)
+        meta = _meta(b)
+        # Only even positions are LLC misses.
+        meta["data_source"][1::2] = np.uint8(DataSource.L1)
+        pebs.observe(b, op_base=0, **meta)
+        s = pebs.drain()
+        # Misses at ops 0,2,4,6; every 2nd → ops 2 and 6.
+        np.testing.assert_array_equal(s.op_idx, [2, 6])
+        assert (s.data_source == np.uint8(DataSource.MEMORY)).all()
+
+    def test_no_events_no_samples(self):
+        pebs = PEBSSampler(period=1)
+        b = _batch(10)
+        pebs.observe(b, op_base=0, **_meta(b, ds=DataSource.L1))
+        assert pebs.drain().n == 0
+
+    def test_event_phase_across_batches(self):
+        pebs = PEBSSampler(period=3)
+        for i in range(6):
+            b = _batch(1)
+            pebs.observe(b, op_base=i, **_meta(b))
+        s = pebs.drain()
+        np.testing.assert_array_equal(s.op_idx, [2, 5])
+
+    def test_llc_source_also_counts_for_llc_event(self):
+        # event_source=LLC arms "L2 miss" (serviced by LLC or beyond).
+        pebs = PEBSSampler(period=1, event_source=DataSource.LLC)
+        b = _batch(3)
+        meta = _meta(b, ds=DataSource.LLC)
+        pebs.observe(b, op_base=0, **meta)
+        assert pebs.drain().n == 3
+
+    def test_stats_population_counts_events(self):
+        pebs = PEBSSampler(period=4)
+        b = _batch(10)
+        pebs.observe(b, op_base=0, **_meta(b))
+        assert pebs.stats.population == 10

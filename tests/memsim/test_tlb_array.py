@@ -1,0 +1,86 @@
+"""Unit tests for per-CPU TLB arrays."""
+
+import numpy as np
+import pytest
+
+from repro.memsim.tlb import TLBArray
+
+
+def _acc(tlbs, vpns, pid=1, cpu=0):
+    vpns = np.asarray(vpns, dtype=np.uint64)
+    return tlbs.access(
+        np.full(vpns.size, pid, dtype=np.int32),
+        vpns,
+        np.full(vpns.size, cpu, dtype=np.int16),
+    )
+
+
+class TestRouting:
+    def test_per_cpu_isolation(self):
+        tlbs = TLBArray(n_cpus=2, entries=64)
+        _acc(tlbs, [5], cpu=0)
+        # Same translation from another CPU: its private TLB is cold.
+        assert not _acc(tlbs, [5], cpu=1)[0]
+        assert _acc(tlbs, [5], cpu=0)[0]
+
+    def test_cpu_folding(self):
+        tlbs = TLBArray(n_cpus=2, entries=64)
+        _acc(tlbs, [5], cpu=0)
+        assert _acc(tlbs, [5], cpu=2)[0]  # cpu 2 folds onto cpu 0
+
+    def test_mixed_cpus_in_one_batch(self):
+        tlbs = TLBArray(n_cpus=2, entries=64)
+        pids = np.ones(4, dtype=np.int32)
+        vpns = np.array([9, 9, 9, 9], dtype=np.uint64)
+        cpus = np.array([0, 1, 0, 1], dtype=np.int16)
+        hits = tlbs.access(pids, vpns, cpus)
+        np.testing.assert_array_equal(hits, [False, False, True, True])
+
+    def test_aggregate_stats(self):
+        tlbs = TLBArray(n_cpus=2, entries=64)
+        _acc(tlbs, [1, 1], cpu=0)
+        _acc(tlbs, [1], cpu=1)
+        assert tlbs.stats.lookups == 3
+        assert tlbs.stats.hits == 1
+
+    def test_bad_n_cpus(self):
+        with pytest.raises(ValueError):
+            TLBArray(n_cpus=0)
+
+
+class TestBroadcastShootdowns:
+    def test_shootdown_all_flushes_every_cpu(self):
+        tlbs = TLBArray(n_cpus=3, entries=64)
+        for cpu in range(3):
+            _acc(tlbs, [7], cpu=cpu)
+        tlbs.shootdown_all()
+        assert tlbs.occupancy() == 0
+        assert tlbs.stats.shootdowns == 1
+        assert tlbs.stats.ipis == 2
+        assert tlbs.stats.entries_invalidated == 3
+
+    def test_shootdown_pid_everywhere(self):
+        tlbs = TLBArray(n_cpus=2, entries=64)
+        _acc(tlbs, [1], pid=1, cpu=0)
+        _acc(tlbs, [1], pid=2, cpu=1)
+        tlbs.shootdown_pid(1)
+        assert not _acc(tlbs, [1], pid=1, cpu=0)[0]
+        assert _acc(tlbs, [1], pid=2, cpu=1)[0]
+
+    def test_shootdown_pages_everywhere(self):
+        tlbs = TLBArray(n_cpus=2, entries=64)
+        _acc(tlbs, [1, 2], cpu=0)
+        _acc(tlbs, [1, 2], cpu=1)
+        tlbs.shootdown_pages(
+            np.array([1], dtype=np.int32), np.array([1], dtype=np.uint64)
+        )
+        for cpu in (0, 1):
+            hits = _acc(tlbs, [1, 2], cpu=cpu)
+            np.testing.assert_array_equal(hits, [False, True])
+
+    def test_contains_any_cpu(self):
+        tlbs = TLBArray(n_cpus=2, entries=64)
+        _acc(tlbs, [4], cpu=1)
+        assert tlbs.contains(
+            np.array([1], dtype=np.int32), np.array([4], dtype=np.uint64)
+        )[0]

@@ -1,0 +1,104 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_profile_defaults(self):
+        args = build_parser().parse_args(["profile", "gups"])
+        assert args.command == "profile"
+        assert args.workload == "gups"
+        assert args.epochs == 8
+        assert args.ibs_period == 16
+
+    def test_tier_options(self):
+        args = build_parser().parse_args(
+            ["tier", "lulesh", "--policy", "oracle", "--ratio", "0.25", "--baseline"]
+        )
+        assert args.policy == "oracle"
+        assert args.ratio == 0.25
+        assert args.baseline
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "gups" in out
+        assert "oracle" in out
+
+    def test_profile_small(self, capsys):
+        rc = main(["profile", "web-serving", "--epochs", "2", "--numa-maps"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "epoch 0:" in out
+        assert "statistics:" in out
+        assert "# pid" in out
+
+    def test_profile_unknown_workload(self):
+        with pytest.raises(SystemExit, match="unknown workload"):
+            main(["profile", "doom"])
+
+    def test_profile_lwp_source(self, capsys):
+        rc = main(
+            ["profile", "web-serving", "--epochs", "1", "--trace-source", "pebs"]
+        )
+        assert rc == 0
+        assert "trace=" in capsys.readouterr().out
+
+    def test_tier_with_baseline(self, capsys):
+        rc = main(
+            [
+                "tier",
+                "web-serving",
+                "--epochs",
+                "2",
+                "--ratio",
+                "0.125",
+                "--baseline",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "mean hitrate" in out
+        assert "speedup" in out
+
+    def test_tier_unknown_policy(self):
+        with pytest.raises(SystemExit, match="unknown policy"):
+            main(["tier", "gups", "--policy", "vibes"])
+
+    def test_heatmap(self, capsys):
+        rc = main(["heatmap", "web-serving", "--epochs", "2", "--bins", "8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Fig. 3 view" in out
+        assert "Fig. 4 view" in out
+
+    def test_sweep(self, capsys):
+        rc = main(["sweep", "web-serving", "--epochs", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "oracle/combined" in out
+        assert "history/abit" in out
+
+    def test_record_then_evaluate(self, capsys, tmp_path):
+        target = str(tmp_path / "run.npz")
+        assert main(["record", "web-serving", "--epochs", "2", target]) == 0
+        assert "recorded web-serving" in capsys.readouterr().out
+        assert (
+            main(["evaluate", target, "--policy", "history", "--ratio", "0.125"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "hitrate=" in out
+
+    def test_evaluate_unknown_policy(self, tmp_path):
+        target = str(tmp_path / "run.npz")
+        main(["record", "web-serving", "--epochs", "1", target])
+        with pytest.raises(SystemExit, match="unknown policy"):
+            main(["evaluate", target, "--policy", "psychic"])

@@ -1,0 +1,78 @@
+"""Public API surface tests."""
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.memsim",
+    "repro.workloads",
+    "repro.core",
+    "repro.tiering",
+    "repro.tiering.policies",
+    "repro.analysis",
+    "repro.cli",
+]
+
+
+class TestSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    @pytest.mark.parametrize("module", SUBPACKAGES)
+    def test_subpackages_importable(self, module):
+        importlib.import_module(module)
+
+    @pytest.mark.parametrize("module", SUBPACKAGES[:-1] + ["repro"])
+    def test_all_names_resolve(self, module):
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module}.__all__ lists missing {name!r}"
+
+    def test_top_level_quickstart_names(self):
+        # The README quickstart's imports must keep working.
+        for name in (
+            "Machine",
+            "MachineConfig",
+            "TMProfiler",
+            "TMPConfig",
+            "TieredSimulator",
+            "HistoryPolicy",
+            "make_workload",
+            "record_run",
+            "evaluate_recorded",
+        ):
+            assert hasattr(repro, name)
+
+    def test_docstrings_on_public_classes(self):
+        from repro import (
+            HistoryPolicy,
+            Machine,
+            OraclePolicy,
+            TMPConfig,
+            TMProfiler,
+            TieredSimulator,
+        )
+
+        for obj in (
+            Machine,
+            TMProfiler,
+            TMPConfig,
+            TieredSimulator,
+            HistoryPolicy,
+            OraclePolicy,
+        ):
+            assert obj.__doc__ and obj.__doc__.strip()
+
+    def test_workload_names_match_registry(self):
+        from repro.workloads import WORKLOAD_NAMES, WORKLOADS
+
+        assert tuple(WORKLOADS) == WORKLOAD_NAMES
+
+    def test_policy_registry_instantiable(self):
+        from repro.tiering.policies import POLICIES
+
+        for cls in POLICIES.values():
+            assert cls().name == cls.name

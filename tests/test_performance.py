@@ -1,0 +1,63 @@
+"""Performance smoke tests — guard the vectorized hot paths.
+
+These are not micro-benchmarks (benchmarks/ has those); they assert
+order-of-magnitude throughput floors so an accidental Python-loop
+regression in a hot path fails CI instead of silently making every
+experiment 100x slower.  Floors are set ~5x below observed throughput
+on a modest machine.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.memsim import AccessBatch, Machine, MachineConfig
+from repro.memsim.vecsim import VectorDirectMapped
+
+
+def _throughput(fn, n_items, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return n_items / best
+
+
+class TestThroughputFloors:
+    def test_machine_pipeline(self):
+        m = Machine(MachineConfig.scaled())
+        vma = m.mmap(1, 4096)
+        rng = np.random.default_rng(0)
+        batch = AccessBatch.from_pages(rng.choice(vma.vpns, 200_000), pid=1)
+        rate = _throughput(lambda: m.run_batch(batch), batch.n)
+        assert rate > 300_000, f"machine pipeline at {rate:.0f} accesses/s"
+
+    def test_vector_engine(self):
+        e = VectorDirectMapped(1 << 14)
+        keys = np.random.default_rng(0).integers(0, 1 << 16, 500_000).astype(np.uint64)
+        rate = _throughput(lambda: e.access(keys), keys.size)
+        assert rate > 2_000_000, f"vector engine at {rate:.0f} keys/s"
+
+    def test_workload_generation(self):
+        from repro.workloads import make_workload
+
+        m = Machine(MachineConfig.scaled())
+        w = make_workload("data-caching")
+        w.attach(m)
+        rng = np.random.default_rng(0)
+        rate = _throughput(lambda: w.epoch(0, rng), w.accesses_per_epoch)
+        assert rate > 500_000, f"workload generation at {rate:.0f} accesses/s"
+
+    @pytest.mark.parametrize("n", [0, 1, 2])
+    def test_tiny_batches_no_pathology(self, n):
+        # Fixed overhead per batch must stay tiny (epoch slicing relies
+        # on it).
+        m = Machine(MachineConfig.scaled())
+        vma = m.mmap(1, 16)
+        batch = AccessBatch.from_pages(vma.vpns[:n], pid=1)
+        t0 = time.perf_counter()
+        for _ in range(100):
+            m.run_batch(batch)
+        assert time.perf_counter() - t0 < 1.0

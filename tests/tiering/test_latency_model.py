@@ -1,0 +1,68 @@
+"""Unit tests for the emulation latency model (50/10/13 µs)."""
+
+import numpy as np
+import pytest
+
+from repro.tiering import LatencyModel
+
+
+def _score(lm, counts, slow, hot, migrations=0, base=1.0):
+    return lm.epoch_latency(
+        base_s=base,
+        access_counts=np.asarray(counts),
+        slow_mask=np.asarray(slow, dtype=bool),
+        hot_mask=np.asarray(hot, dtype=bool),
+        migrations=migrations,
+    )
+
+
+class TestCalibration:
+    def test_paper_constants(self):
+        lm = LatencyModel()
+        assert lm.migration_s == pytest.approx(50e-6)
+        assert lm.slow_access_s == pytest.approx(10e-6)
+        assert lm.hot_slow_extra_s == pytest.approx(13e-6)
+
+
+class TestEpochLatency:
+    def test_all_fast_no_penalty(self):
+        lm = LatencyModel()
+        lat = _score(lm, [10, 10], [False, False], [True, False])
+        assert lat.slow_fault_s == 0
+        assert lat.total_s == pytest.approx(1.0)
+
+    def test_slow_faults_capped_by_rounds(self):
+        lm = LatencyModel(protect_rounds_per_epoch=4)
+        lat = _score(lm, [100, 2], [True, True], [False, False])
+        # Page 0: min(100,4)=4 faults; page 1: 2 faults.
+        assert lat.slow_fault_s == pytest.approx(6 * 10e-6)
+
+    def test_hot_slow_extra(self):
+        lm = LatencyModel(protect_rounds_per_epoch=4)
+        lat = _score(lm, [100, 100], [True, True], [True, False])
+        assert lat.hot_slow_extra_s == pytest.approx(4 * 13e-6)
+
+    def test_untouched_slow_pages_free(self):
+        lm = LatencyModel()
+        lat = _score(lm, [0, 0], [True, True], [False, False])
+        assert lat.slow_fault_s == 0
+
+    def test_migration_cost(self):
+        lm = LatencyModel()
+        lat = _score(lm, [0], [False], [False], migrations=10)
+        assert lat.migration_s == pytest.approx(10 * 50e-6)
+
+    def test_total_is_sum(self):
+        lm = LatencyModel(protect_rounds_per_epoch=1)
+        lat = _score(lm, [5, 5], [True, True], [True, False], migrations=2, base=0.5)
+        assert lat.total_s == pytest.approx(
+            0.5 + 2 * 10e-6 + 1 * 13e-6 + 2 * 50e-6
+        )
+
+    def test_better_placement_is_faster(self):
+        lm = LatencyModel()
+        counts = np.array([100, 1, 1, 1])
+        hot = np.array([True, False, False, False])
+        good = _score(lm, counts, [False, True, True, True], hot)
+        bad = _score(lm, counts, [True, False, False, False], hot)
+        assert good.total_s < bad.total_s

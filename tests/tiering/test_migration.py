@@ -1,0 +1,99 @@
+"""Unit tests for the epoch-batched page mover."""
+
+import numpy as np
+
+from repro.memsim import AccessBatch, Machine, MachineConfig
+from repro.tiering import TIER1, TIER2, PageMover, make_tiers
+
+
+def _tm(n=10, cap=3):
+    tm = make_tiers(n, cap)
+    tm.place(np.arange(n), TIER2)  # everything starts slow
+    return tm
+
+
+class TestApplyTarget:
+    def test_promotes_target(self):
+        tm = _tm()
+        mover = PageMover(tm)
+        res = mover.apply_target(np.array([4, 7]))
+        assert res.promoted == 2
+        assert res.demoted == 0
+        np.testing.assert_array_equal(tm.tier1_pages(), [4, 7])
+
+    def test_demotes_evicted(self):
+        tm = _tm()
+        mover = PageMover(tm)
+        mover.apply_target(np.array([1, 2, 3]))
+        res = mover.apply_target(np.array([4, 5, 6]))
+        assert res.promoted == 3 and res.demoted == 3
+        np.testing.assert_array_equal(np.sort(tm.tier1_pages()), [4, 5, 6])
+        assert tm.tier_of[1] == TIER2
+
+    def test_stable_target_no_moves(self):
+        tm = _tm()
+        mover = PageMover(tm)
+        mover.apply_target(np.array([1, 2]))
+        res = mover.apply_target(np.array([1, 2]))
+        assert res.moved == 0
+        assert res.shootdowns == 0
+
+    def test_target_clamped_to_capacity_hottest_first(self):
+        tm = _tm(cap=2)
+        mover = PageMover(tm)
+        res = mover.apply_target(np.array([9, 8, 7, 6]))  # hottest-first order
+        assert res.promoted == 2
+        np.testing.assert_array_equal(np.sort(tm.tier1_pages()), [8, 9])
+
+    def test_partial_overlap(self):
+        tm = _tm()
+        mover = PageMover(tm)
+        mover.apply_target(np.array([1, 2, 3]))
+        res = mover.apply_target(np.array([2, 3, 4]))
+        assert res.promoted == 1 and res.demoted == 1
+
+    def test_totals_accumulate(self):
+        tm = _tm()
+        mover = PageMover(tm)
+        mover.apply_target(np.array([1]))
+        mover.apply_target(np.array([2]))
+        assert mover.total.promoted == 2
+        assert mover.total.demoted == 1
+
+    def test_empty_target_demotes_all(self):
+        tm = _tm()
+        mover = PageMover(tm)
+        mover.apply_target(np.array([1, 2]))
+        res = mover.apply_target(np.zeros(0, dtype=np.int64))
+        assert res.demoted == 2
+        assert tm.occupancy(TIER1) == 0
+
+
+class TestShootdownIntegration:
+    def test_single_shootdown_per_batch(self):
+        m = Machine(MachineConfig(total_frames=1 << 12, tlb_entries=64, n_cpus=2))
+        vma = m.mmap(1, 8)
+        m.run_batch(AccessBatch.from_pages(vma.vpns, pid=1))
+        tm = make_tiers(m.n_frames, 4)
+        tm.place(np.arange(m.n_frames), TIER2)
+        mover = PageMover(tm, m)
+
+        before = m.tlb.stats.shootdowns
+        res = mover.apply_target(vma.pfns[:3].astype(np.int64))
+        assert res.shootdowns == 1
+        assert m.tlb.stats.shootdowns == before + 1
+        # The moved pages' translations are gone; untouched ones remain.
+        resident = m.tlb.contains(
+            np.full(8, 1, dtype=np.int32), vma.vpns
+        )
+        assert not resident[:3].any()
+        assert resident[3:].all()
+
+    def test_no_moves_no_shootdown(self):
+        m = Machine(MachineConfig(total_frames=1 << 12))
+        m.mmap(1, 4)
+        tm = make_tiers(m.n_frames, 2)
+        tm.place(np.arange(m.n_frames), TIER2)
+        mover = PageMover(tm, m)
+        mover.apply_target(np.zeros(0, dtype=np.int64))
+        assert m.tlb.stats.shootdowns == 0

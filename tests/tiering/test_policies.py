@@ -1,0 +1,208 @@
+"""Unit tests for placement policies."""
+
+import numpy as np
+import pytest
+
+from repro.core.page_stats import EpochProfile
+from repro.tiering import (
+    AutoNUMAPolicy,
+    FCFAPolicy,
+    HistoryPolicy,
+    OraclePolicy,
+    POLICIES,
+    RandomPolicy,
+    TrueOraclePolicy,
+    WriteAwarePolicy,
+)
+from repro.tiering.policies.base import PolicyContext, fill_with_residents
+
+
+def _profile(abit, trace, epoch=0):
+    return EpochProfile(
+        epoch=epoch,
+        abit=np.asarray(abit, dtype=np.int64),
+        trace=np.asarray(trace, dtype=np.int64),
+    )
+
+
+def _ctx(
+    n=8,
+    cap=2,
+    prev=None,
+    nxt=None,
+    counts=None,
+    mem=None,
+    tier1=(),
+    source="combined",
+    dirty=None,
+):
+    return PolicyContext(
+        epoch=1,
+        tier1_capacity=cap,
+        n_frames=n,
+        prev_profile=prev,
+        next_profile=nxt,
+        true_counts=None if counts is None else np.asarray(counts),
+        true_mem_counts=None if mem is None else np.asarray(mem),
+        current_tier1=np.asarray(tier1, dtype=np.int64),
+        rank_source=source,
+        dirty_pages=None if dirty is None else np.asarray(dirty, dtype=np.int64),
+    )
+
+
+class TestFillWithResidents:
+    def test_pads_to_capacity(self):
+        ctx = _ctx(cap=3, tier1=[5, 6, 7])
+        out = fill_with_residents(np.array([1]), ctx)
+        np.testing.assert_array_equal(out, [1, 5, 6])
+
+    def test_no_duplicate_residents(self):
+        ctx = _ctx(cap=3, tier1=[1, 5])
+        out = fill_with_residents(np.array([1, 2]), ctx)
+        np.testing.assert_array_equal(out, [1, 2, 5])
+
+    def test_truncates_over_capacity(self):
+        ctx = _ctx(cap=2)
+        out = fill_with_residents(np.array([1, 2, 3]), ctx)
+        np.testing.assert_array_equal(out, [1, 2])
+
+
+class TestOracle:
+    def test_uses_next_profile(self):
+        nxt = _profile([0] * 8, [0, 0, 9, 0, 0, 3, 0, 0])
+        pol = OraclePolicy()
+        out = pol.target_tier1(_ctx(nxt=nxt, source="trace"))
+        np.testing.assert_array_equal(out[:2], [2, 5])
+
+    def test_source_sensitivity(self):
+        nxt = _profile([0, 5, 0, 0, 0, 0, 0, 0], [0, 0, 9, 0, 0, 0, 0, 0])
+        abit_top = OraclePolicy().target_tier1(_ctx(nxt=nxt, cap=1, source="abit"))
+        trace_top = OraclePolicy().target_tier1(_ctx(nxt=nxt, cap=1, source="trace"))
+        assert abit_top[0] == 1
+        assert trace_top[0] == 2
+
+    def test_requires_profile(self):
+        with pytest.raises(ValueError, match="profile"):
+            OraclePolicy().target_tier1(_ctx())
+
+
+class TestTrueOracle:
+    def test_uses_mem_counts(self):
+        pol = TrueOraclePolicy()
+        out = pol.target_tier1(
+            _ctx(counts=[9, 0, 0, 0, 0, 0, 0, 0], mem=[0, 0, 7, 0, 0, 0, 0, 0])
+        )
+        assert out[0] == 2
+
+    def test_fallback_to_counts(self):
+        pol = TrueOraclePolicy()
+        out = pol.target_tier1(_ctx(counts=[9, 0, 0, 0, 0, 0, 0, 0], mem=None))
+        assert out[0] == 0
+
+    def test_requires_counts(self):
+        with pytest.raises(ValueError, match="counts"):
+            TrueOraclePolicy().target_tier1(_ctx())
+
+
+class TestHistory:
+    def test_first_epoch_keeps_placement(self):
+        out = HistoryPolicy().target_tier1(_ctx(tier1=[3, 4]))
+        np.testing.assert_array_equal(out, [3, 4])
+
+    def test_uses_previous_profile(self):
+        prev = _profile([0] * 8, [0, 7, 0, 0, 0, 0, 0, 0])
+        out = HistoryPolicy().target_tier1(_ctx(prev=prev, source="trace"))
+        assert out[0] == 1
+
+    def test_smoothing_accumulates(self):
+        pol = HistoryPolicy(smoothing=0.9)
+        hot_then_quiet = [
+            _profile([0] * 8, [0, 10, 0, 0, 0, 0, 0, 0]),
+            _profile([0] * 8, [0, 0, 0, 1, 0, 0, 0, 0]),
+        ]
+        pol.target_tier1(_ctx(prev=hot_then_quiet[0], cap=1, source="trace"))
+        out = pol.target_tier1(_ctx(prev=hot_then_quiet[1], cap=1, source="trace"))
+        # EMA remembers page 1 (9.0) over the new page 3 (0.1).
+        assert out[0] == 1
+
+    def test_memoryless_default_forgets(self):
+        pol = HistoryPolicy()
+        pol.target_tier1(
+            _ctx(prev=_profile([0] * 8, [0, 10, 0, 0, 0, 0, 0, 0]), cap=1, source="trace")
+        )
+        out = pol.target_tier1(
+            _ctx(prev=_profile([0] * 8, [0, 0, 0, 1, 0, 0, 0, 0]), cap=1, source="trace")
+        )
+        assert out[0] == 3
+
+    def test_bad_smoothing(self):
+        with pytest.raises(ValueError):
+            HistoryPolicy(smoothing=1.0)
+
+    def test_ema_handles_growth(self):
+        pol = HistoryPolicy(smoothing=0.5)
+        pol.target_tier1(_ctx(n=4, prev=_profile([0] * 4, [1, 0, 0, 0])))
+        out = pol.target_tier1(_ctx(n=8, prev=_profile([0] * 8, [0] * 7 + [5])))
+        assert out[0] == 7
+
+
+class TestFCFA:
+    def test_never_migrates(self):
+        out = FCFAPolicy().target_tier1(_ctx(tier1=[2, 6]))
+        np.testing.assert_array_equal(out, [2, 6])
+
+
+class TestAutoNUMA:
+    def test_detects_in_window(self):
+        prev = _profile([1] * 8, [0] * 8)
+        pol = AutoNUMAPolicy(window_pages=4)
+        out = pol.target_tier1(_ctx(prev=prev, cap=4))
+        np.testing.assert_array_equal(np.sort(out), [0, 1, 2, 3])
+        assert pol.faults_incurred == 4
+
+    def test_window_rotates(self):
+        prev = _profile([1] * 8, [0] * 8)
+        pol = AutoNUMAPolicy(window_pages=4)
+        pol.target_tier1(_ctx(prev=prev, cap=4))
+        out = pol.target_tier1(_ctx(prev=prev, cap=4))
+        np.testing.assert_array_equal(np.sort(out), [4, 5, 6, 7])
+
+    def test_bad_window(self):
+        with pytest.raises(ValueError):
+            AutoNUMAPolicy(window_pages=0)
+
+
+class TestWriteAware:
+    def test_write_boost_promotes_dirty(self):
+        prev = _profile([0] * 8, [0, 4, 3, 0, 0, 0, 0, 0])
+        plain = HistoryPolicy().target_tier1(_ctx(prev=prev, cap=1, source="trace"))
+        boosted = WriteAwarePolicy(write_boost=2.0).target_tier1(
+            _ctx(prev=prev, cap=1, source="trace", dirty=[2])
+        )
+        assert plain[0] == 1
+        assert boosted[0] == 2  # 3*2 > 4
+
+    def test_bad_boost(self):
+        with pytest.raises(ValueError):
+            WriteAwarePolicy(write_boost=0.5)
+
+
+class TestRandomAndRegistry:
+    def test_random_within_capacity_and_deterministic(self):
+        prev = _profile([1] * 8, [0] * 8)
+        a = RandomPolicy(seed=1).target_tier1(_ctx(prev=prev, cap=3))
+        b = RandomPolicy(seed=1).target_tier1(_ctx(prev=prev, cap=3))
+        np.testing.assert_array_equal(a, b)
+        assert a.size == 3
+
+    def test_registry_names(self):
+        assert set(POLICIES) == {
+            "oracle",
+            "true-oracle",
+            "history",
+            "fcfa",
+            "autonuma",
+            "write-aware",
+            "thermostat",
+            "random",
+        }

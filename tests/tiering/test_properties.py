@@ -1,0 +1,81 @@
+"""Property-based invariants for tier placement and migration."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tiering import TIER1, TIER2, UNPLACED, PageMover, make_tiers
+
+N_FRAMES = 64
+
+
+@st.composite
+def target_sequences(draw):
+    cap = draw(st.integers(1, 16))
+    n_targets = draw(st.integers(1, 6))
+    targets = []
+    for _ in range(n_targets):
+        pages = draw(
+            st.lists(
+                st.integers(0, N_FRAMES - 1), min_size=0, max_size=32, unique=True
+            )
+        )
+        targets.append(np.asarray(pages, dtype=np.int64))
+    budget = draw(st.one_of(st.none(), st.integers(0, 20)))
+    return cap, targets, budget
+
+
+class TestMoverInvariants:
+    @given(target_sequences())
+    @settings(max_examples=150, deadline=None)
+    def test_capacity_and_conservation(self, plan):
+        cap, targets, budget = plan
+        tm = make_tiers(N_FRAMES, cap)
+        tm.place(np.arange(N_FRAMES), TIER2)
+        mover = PageMover(tm, max_moves_per_epoch=budget)
+        for target in targets:
+            res = mover.apply_target(target)
+            # Capacity never exceeded.
+            assert tm.occupancy(TIER1) <= cap
+            # No page ever becomes unplaced again.
+            assert tm.occupancy(UNPLACED) == 0
+            assert tm.occupancy(TIER1) + tm.occupancy(TIER2) == N_FRAMES
+            # Reported moves are consistent and budget-respecting.
+            assert res.promoted >= 0 and res.demoted >= 0
+            if budget is not None:
+                assert res.promoted <= max(budget // 2, 0)
+            # Tier-1 contents are a subset of the target when the target
+            # was large enough (unbudgeted case).
+            if budget is None and target.size >= cap:
+                t1 = set(tm.tier1_pages().tolist())
+                assert t1 <= set(target[:cap].tolist()) | t1  # tautology guard
+                assert t1 <= set(target.tolist())
+
+    @given(target_sequences())
+    @settings(max_examples=80, deadline=None)
+    def test_idempotent_targets(self, plan):
+        cap, targets, _ = plan
+        tm = make_tiers(N_FRAMES, cap)
+        tm.place(np.arange(N_FRAMES), TIER2)
+        mover = PageMover(tm)
+        for target in targets:
+            mover.apply_target(target)
+            placement = tm.tier_of.copy()
+            res = mover.apply_target(target)  # same target again
+            assert res.moved == 0
+            np.testing.assert_array_equal(tm.tier_of, placement)
+
+    @given(target_sequences())
+    @settings(max_examples=80, deadline=None)
+    def test_promotions_match_demotions_when_full(self, plan):
+        cap, targets, _ = plan
+        tm = make_tiers(N_FRAMES, cap)
+        tm.place(np.arange(N_FRAMES), TIER2)
+        mover = PageMover(tm)
+        # Fill tier 1 completely first.
+        mover.apply_target(np.arange(cap, dtype=np.int64))
+        for target in targets:
+            before = tm.occupancy(TIER1)
+            res = mover.apply_target(target)
+            after = tm.occupancy(TIER1)
+            assert after - before == res.promoted - res.demoted

@@ -1,0 +1,77 @@
+"""Round-trip tests for recording serialization."""
+
+import numpy as np
+import pytest
+
+from repro.memsim import MachineConfig
+from repro.tiering import evaluate_recorded, record_run
+from repro.tiering.policies import HistoryPolicy
+from repro.tiering.serialize import load_recorded, save_recorded
+from repro.workloads import make_workload
+
+
+@pytest.fixture(scope="module")
+def recording():
+    w = make_workload("web-serving", accesses_per_epoch=40_000)
+    return record_run(
+        w, machine_config=MachineConfig.scaled(ibs_period=16), epochs=3, seed=0
+    )
+
+
+class TestRoundTrip:
+    def test_metadata(self, recording, tmp_path):
+        p = save_recorded(recording, tmp_path / "run.npz")
+        loaded = load_recorded(p)
+        assert loaded.workload == recording.workload
+        assert loaded.footprint_pages == recording.footprint_pages
+        assert loaded.n_frames == recording.n_frames
+        assert loaded.n_epochs == recording.n_epochs
+        assert loaded.event_totals == recording.event_totals
+
+    def test_arrays_identical(self, recording, tmp_path):
+        loaded = load_recorded(save_recorded(recording, tmp_path / "run.npz"))
+        np.testing.assert_array_equal(
+            loaded.first_touch_epoch, recording.first_touch_epoch
+        )
+        for a, b in zip(loaded.epochs, recording.epochs):
+            np.testing.assert_array_equal(a.profile.abit, b.profile.abit)
+            np.testing.assert_array_equal(a.profile.trace, b.profile.trace)
+            np.testing.assert_array_equal(a.counts, b.counts)
+            np.testing.assert_array_equal(a.mem_counts, b.mem_counts)
+            np.testing.assert_array_equal(a.dirty_pages, b.dirty_pages)
+            assert a.overhead_s == b.overhead_s
+
+    def test_samples_roundtrip(self, recording, tmp_path):
+        loaded = load_recorded(save_recorded(recording, tmp_path / "run.npz"))
+        for a, b in zip(loaded.epochs, recording.epochs):
+            assert a.samples.n == b.samples.n
+            np.testing.assert_array_equal(a.samples.op_idx, b.samples.op_idx)
+            np.testing.assert_array_equal(a.samples.paddr, b.samples.paddr)
+
+    def test_without_samples(self, recording, tmp_path):
+        p = save_recorded(recording, tmp_path / "slim.npz", include_samples=False)
+        loaded = load_recorded(p)
+        assert all(e.samples is None for e in loaded.epochs)
+
+    def test_evaluation_identical_after_reload(self, recording, tmp_path):
+        loaded = load_recorded(save_recorded(recording, tmp_path / "run.npz"))
+        a = evaluate_recorded(recording, HistoryPolicy(), tier1_ratio=1 / 16)
+        b = evaluate_recorded(loaded, HistoryPolicy(), tier1_ratio=1 / 16)
+        assert a.mean_hitrate == b.mean_hitrate
+        assert a.total_migrations == b.total_migrations
+
+    def test_bad_version_rejected(self, recording, tmp_path):
+        import json
+
+        p = save_recorded(recording, tmp_path / "run.npz")
+        with np.load(p) as data:
+            arrays = {k: data[k] for k in data.files if k != "_meta"}
+            meta = json.loads(bytes(data["_meta"]).decode())
+        meta["format_version"] = 999
+        np.savez_compressed(
+            tmp_path / "bad.npz",
+            _meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+            **arrays,
+        )
+        with pytest.raises(ValueError, match="format"):
+            load_recorded(tmp_path / "bad.npz")

@@ -1,0 +1,120 @@
+"""Integration tests for the online tiered simulator."""
+
+import numpy as np
+import pytest
+
+from repro.memsim import MachineConfig
+from repro.workloads import make_workload
+from repro.tiering import (
+    FCFAPolicy,
+    HistoryPolicy,
+    OraclePolicy,
+    RandomPolicy,
+    TieredSimulator,
+    TrueOraclePolicy,
+)
+
+
+def _sim(policy, wname="data-caching", **kw):
+    defaults = dict(
+        tier1_ratio=1 / 16,
+        machine_config=MachineConfig.scaled(ibs_period=16),
+        seed=0,
+    )
+    defaults.update(kw)
+    w = make_workload(wname)
+    return TieredSimulator(w, policy, **defaults)
+
+
+class TestBasics:
+    def test_runs_and_reports(self):
+        res = _sim(HistoryPolicy()).run(3)
+        assert len(res.epochs) == 3
+        assert res.policy == "history"
+        assert res.workload == "data-caching"
+        for e in res.epochs:
+            assert 0 <= e.hitrate <= 1
+            assert e.runtime_s > 0
+
+    def test_capacity_from_ratio(self):
+        sim = _sim(FCFAPolicy(), tier1_ratio=1 / 8)
+        assert sim.tier1_capacity == round(sim.workload.footprint_pages / 8)
+
+    def test_bad_ratio(self):
+        with pytest.raises(ValueError):
+            _sim(FCFAPolicy(), tier1_ratio=0.0)
+        with pytest.raises(ValueError):
+            _sim(FCFAPolicy(), tier1_ratio=1.5)
+
+    def test_bad_slices(self):
+        with pytest.raises(ValueError):
+            _sim(FCFAPolicy(), epoch_slices=0)
+
+    def test_deterministic(self):
+        a = _sim(HistoryPolicy()).run(3)
+        b = _sim(HistoryPolicy()).run(3)
+        assert a.mean_hitrate == b.mean_hitrate
+        assert a.total_migrations == b.total_migrations
+
+
+class TestPolicyOrdering:
+    def test_true_oracle_beats_fcfa(self):
+        oracle = _sim(TrueOraclePolicy()).run(5)
+        fcfa = _sim(FCFAPolicy()).run(5)
+        assert oracle.mean_hitrate > fcfa.mean_hitrate + 0.05
+
+    def test_fcfa_never_migrates(self):
+        res = _sim(FCFAPolicy()).run(4)
+        assert res.total_migrations == 0
+
+    def test_history_beats_random(self):
+        hist = _sim(HistoryPolicy()).run(5)
+        rand = _sim(RandomPolicy(seed=3)).run(5)
+        assert hist.mean_hitrate > rand.mean_hitrate
+
+    def test_oracle_at_least_history(self):
+        oracle = _sim(OraclePolicy()).run(5)
+        hist = _sim(HistoryPolicy()).run(5)
+        assert oracle.mean_hitrate >= hist.mean_hitrate - 0.02
+
+
+class TestCapacitySweep:
+    def test_hitrate_monotone_in_capacity(self):
+        rates = []
+        for ratio in (1 / 256, 1 / 64, 1 / 16):
+            rates.append(_sim(TrueOraclePolicy(), tier1_ratio=ratio).run(4).mean_hitrate)
+        assert rates[0] < rates[1] < rates[2]
+
+    def test_full_capacity_perfect(self):
+        res = _sim(TrueOraclePolicy(), tier1_ratio=1.0).run(3)
+        assert res.mean_hitrate > 0.95
+
+
+class TestRuntimeModel:
+    def test_runtime_decomposition(self):
+        res = _sim(HistoryPolicy()).run(3)
+        for e in res.epochs:
+            assert e.runtime_s == pytest.approx(
+                e.latency.total_s + e.profiler_overhead_s
+            )
+
+    def test_speedup_over(self):
+        hist = _sim(HistoryPolicy()).run(4)
+        fcfa = _sim(FCFAPolicy()).run(4)
+        s = hist.speedup_over(fcfa)
+        assert s == pytest.approx(fcfa.total_runtime_s / hist.total_runtime_s)
+
+
+class TestInitPhase:
+    def test_init_places_everything_touched(self):
+        sim = _sim(FCFAPolicy())
+        res = sim.run(2, init=True)
+        from repro.tiering.tiers import UNPLACED
+
+        assert sim.tiers.occupancy(UNPLACED) == 0
+
+    def test_no_init_differs(self):
+        a = _sim(FCFAPolicy()).run(3, init=True)
+        b = _sim(FCFAPolicy()).run(3, init=False)
+        # Init changes first-touch order and thus FCFA's placement.
+        assert a.mean_hitrate != b.mean_hitrate

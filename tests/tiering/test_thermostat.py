@@ -1,0 +1,86 @@
+"""Unit and behavioural tests for the Thermostat-style policy."""
+
+import numpy as np
+import pytest
+
+from repro.core.page_stats import EpochProfile
+from repro.memsim import MachineConfig
+from repro.tiering import (
+    HistoryPolicy,
+    ThermostatPolicy,
+    evaluate_recorded,
+    record_run,
+)
+from repro.tiering.policies.base import PolicyContext
+from repro.workloads import make_workload
+
+
+def _ctx(n=8, cap=2, tier1=(), tlb=None, epoch=1):
+    return PolicyContext(
+        epoch=epoch,
+        tier1_capacity=cap,
+        n_frames=n,
+        prev_profile=None,
+        next_profile=None,
+        true_counts=None,
+        true_mem_counts=None,
+        current_tier1=np.asarray(tier1, dtype=np.int64),
+        tlb_miss_counts=None if tlb is None else np.asarray(tlb),
+    )
+
+
+class TestThermostatUnit:
+    def test_first_epoch_keeps_placement(self):
+        pol = ThermostatPolicy()
+        out = pol.target_tier1(_ctx(tier1=[3], tlb=[0, 9, 0, 0, 0, 0, 0, 0]))
+        np.testing.assert_array_equal(out, [3])
+
+    def test_uses_previous_epoch_counts(self):
+        pol = ThermostatPolicy()
+        pol.target_tier1(_ctx(tlb=[0, 9, 0, 0, 0, 0, 0, 0]))
+        out = pol.target_tier1(_ctx(tlb=[5, 0, 0, 0, 0, 0, 0, 0], cap=1))
+        assert out[0] == 1  # last epoch's TLB-missing page, not this one's
+
+    def test_handles_growth(self):
+        pol = ThermostatPolicy()
+        pol.target_tier1(_ctx(n=4, tlb=[1, 0, 0, 0]))
+        out = pol.target_tier1(_ctx(n=8, tlb=[0] * 8, cap=1))
+        assert out.size == 1
+
+    def test_no_counts_keeps_placement(self):
+        pol = ThermostatPolicy()
+        out = pol.target_tier1(_ctx(tier1=[2, 5]))
+        np.testing.assert_array_equal(out, [2, 5])
+
+
+class TestThermostatVsHistory:
+    def _eval(self, wname, policy, **kw):
+        rec = record_run(
+            make_workload(wname),
+            machine_config=MachineConfig.scaled(ibs_period=16),
+            epochs=6,
+            seed=0,
+        )
+        return evaluate_recorded(rec, policy, tier1_ratio=1 / 16, **kw)
+
+    def test_runs_on_recordings(self):
+        res = self._eval("data-caching", ThermostatPolicy())
+        assert 0 < res.mean_hitrate < 1
+
+    def test_tlb_proxy_fails_on_streaming_locality(self):
+        """The paper's §II-B critique, measured where it bites: LULESH's
+        dwelled sweeps TLB-miss only once per page window while missing
+        the LLC on nearly every access, so the TLB-miss proxy under-ranks
+        exactly the pages that matter and loses to the trace rank."""
+        thermo = self._eval("lulesh", ThermostatPolicy())
+        history = self._eval("lulesh", HistoryPolicy(), rank_source="trace")
+        assert history.mean_hitrate > thermo.mean_hitrate
+
+    def test_tlb_proxy_competitive_when_signals_correlate(self):
+        """The flip side: on Zipf key-value traffic, TLB misses and LLC
+        misses track the same hot set — and Thermostat's counts are
+        *exact* while the trace is sampled, so it stays competitive.
+        (Its real cost is the fault overhead, not the ranking.)"""
+        thermo = self._eval("data-caching", ThermostatPolicy())
+        history = self._eval("data-caching", HistoryPolicy(), rank_source="trace")
+        assert thermo.mean_hitrate > 0.8 * history.mean_hitrate

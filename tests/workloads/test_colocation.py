@@ -1,0 +1,121 @@
+"""Tests for workload colocation (MultiWorkload)."""
+
+import numpy as np
+import pytest
+
+from repro.core import TMPConfig, TMProfiler
+from repro.memsim import Machine, MachineConfig
+from repro.tiering import HistoryPolicy, TieredSimulator
+from repro.workloads import MultiWorkload, make_workload
+
+
+def _mix(names=("web-serving", "gups"), **kw):
+    return MultiWorkload([make_workload(n, **kw) for n in names])
+
+
+def _machine():
+    return Machine(MachineConfig.scaled(ibs_period=16))
+
+
+class TestComposition:
+    def test_name_and_totals(self):
+        mix = _mix()
+        ws, gups = mix.tenants
+        assert mix.name == "web-serving+gups"
+        assert mix.footprint_pages == ws.footprint_pages + gups.footprint_pages
+        assert mix.n_processes == ws.n_processes + gups.n_processes
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MultiWorkload([])
+
+    def test_pid_ranges_disjoint(self):
+        mix = _mix(("gups", "gups", "gups"))
+        mix.attach(_machine())
+        all_pids = [pid for t in mix.tenants for pid in t.pids]
+        assert len(set(all_pids)) == len(all_pids)
+
+    def test_attach_maps_every_tenant(self):
+        mix = _mix()
+        m = _machine()
+        mix.attach(m)
+        assert set(mix.pids) == set(m.page_tables)
+        assert m.n_frames > 0
+
+    def test_double_attach_rejected(self):
+        mix = _mix()
+        m = _machine()
+        mix.attach(m)
+        with pytest.raises(RuntimeError):
+            mix.attach(m)
+
+    def test_tenant_pids_mapping(self):
+        mix = _mix()
+        mix.attach(_machine())
+        groups = mix.tenant_pids()
+        assert set(groups) == {"web-serving", "gups"}
+        assert groups["gups"] == mix.tenants[1].pids
+
+
+class TestExecution:
+    def test_epoch_contains_all_tenants(self):
+        mix = _mix()
+        m = _machine()
+        mix.attach(m)
+        b = mix.epoch(0, np.random.default_rng(0))
+        pids = set(np.unique(b.pid))
+        for t in mix.tenants:
+            assert pids & set(t.pids)
+        m.run_batch(b)  # executes without faults
+
+    def test_init_stream_covers_all_frames(self):
+        mix = _mix()
+        m = _machine()
+        mix.attach(m)
+        m.run_batch(mix.init_stream(np.random.default_rng(0)))
+        assert m.frame_stats.touched_mask().all()
+
+    def test_deterministic(self):
+        def run():
+            m = _machine()
+            mix = _mix()
+            mix.attach(m)
+            return m.run_batch(mix.epoch(0, np.random.default_rng(3))).pfn
+
+        np.testing.assert_array_equal(run(), run())
+
+
+class TestProfilingMix:
+    def test_filter_separates_tenants(self):
+        """The heavy tenant's processes are tracked; the light one's
+        clients fall below the resource thresholds."""
+        m = _machine()
+        mix = _mix(("data-caching", "gups"))
+        mix.attach(m)
+        prof = TMProfiler(m, TMPConfig())
+        prof.register_workload(mix)
+        rng = np.random.default_rng(0)
+        for e in range(2):
+            b = mix.epoch(e, rng)
+            prof.observe_batch(b, m.run_batch(b))
+            rep = prof.end_epoch()
+        tracked = set(rep.tracked_pids)
+        gups_pids = set(mix.tenants[1].pids)
+        # All GUPS ranks are heavy; memcached clients are filtered.
+        assert gups_pids <= tracked
+        assert len(tracked) < mix.n_processes
+
+    def test_tiering_over_a_mix(self):
+        mix = _mix(("web-serving", "gups"))
+        sim = TieredSimulator(
+            mix,
+            HistoryPolicy(),
+            tier1_ratio=1 / 8,
+            machine_config=MachineConfig.scaled(ibs_period=16),
+            seed=0,
+        )
+        res = sim.run(3)
+        assert 0 < res.mean_hitrate < 1
+        # The mix's hot set (web code + stream) earns placement: better
+        # than the proportional floor.
+        assert res.mean_hitrate > 1 / 8

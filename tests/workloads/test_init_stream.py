@@ -1,0 +1,76 @@
+"""Tests for the population (init) phase of workloads."""
+
+import numpy as np
+import pytest
+
+from repro.memsim import Machine, MachineConfig
+from repro.workloads import WORKLOAD_NAMES, make_workload
+
+
+def _machine():
+    return Machine(MachineConfig.scaled())
+
+
+class TestInitStream:
+    def test_requires_attach(self):
+        w = make_workload("gups")
+        with pytest.raises(RuntimeError, match="not attached"):
+            w.init_stream(np.random.default_rng(0))
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_touches_every_frame(self, name):
+        m = _machine()
+        w = make_workload(name)
+        w.attach(m)
+        m.run_batch(w.init_stream(np.random.default_rng(0)))
+        assert m.frame_stats.touched_mask().all()
+
+    def test_all_stores(self):
+        m = _machine()
+        w = make_workload("gups")
+        w.attach(m)
+        b = w.init_stream(np.random.default_rng(0))
+        assert b.is_store.all()
+
+    def test_dwell_controls_size(self):
+        m = _machine()
+        w = make_workload("graph500")
+        w.attach(m)
+        rng = np.random.default_rng(0)
+        small = w.init_stream(rng, dwell=1).n
+        big = w.init_stream(np.random.default_rng(0), dwell=4).n
+        assert big == 4 * small
+
+    def test_first_touch_order_is_hotness_blind(self):
+        """Within each VMA, init first-touch order is address order —
+        no correlation with future access frequency."""
+        m = _machine()
+        w = make_workload("data-caching")
+        w.attach(m)
+        m.run_batch(w.init_stream(np.random.default_rng(0)))
+        server = w.processes[0]
+        vma = server.vma("values")
+        ft = m.frame_stats.first_touch_op[vma.pfn_base : vma.pfn_base + vma.npages]
+        assert (np.diff(ft.astype(np.int64)) > 0).all()
+
+
+class TestScaledConfigInvariants:
+    def test_ratios_match_full_size(self):
+        full = MachineConfig()
+        scaled = MachineConfig.scaled()
+        # TLB reach : LLC pages ratio is preserved (both shrink 8x/32x
+        # relative structure maintained within 2x).
+        full_ratio = (full.llc_bytes / 4096) / full.tlb_entries
+        scaled_ratio = (scaled.llc_bytes / 4096) / scaled.tlb_entries
+        assert scaled_ratio == pytest.approx(full_ratio, rel=1.0)
+        # Samples per second are preserved to within the nearest
+        # power-of-two period choice (3815/s full vs 3125/s scaled).
+        assert full.ops_per_second / full.ibs_period == pytest.approx(
+            scaled.ops_per_second / scaled.ibs_period, rel=0.25
+        )
+
+    def test_overrides(self):
+        cfg = MachineConfig.scaled(ibs_period=16, n_cpus=2)
+        assert cfg.ibs_period == 16
+        assert cfg.n_cpus == 2
+        assert cfg.tlb_entries == 256  # preset retained

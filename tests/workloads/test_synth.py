@@ -1,0 +1,173 @@
+"""Unit and property tests for synthetic pattern primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memsim import Machine, MachineConfig
+from repro.workloads.synth import (
+    BoundedZipf,
+    batch_on_vma,
+    rmw_expand,
+    sequential_sweep,
+    strided_sweep,
+    uniform_pages,
+    windowed_sweep,
+)
+
+
+class TestBoundedZipf:
+    def test_samples_in_range(self):
+        z = BoundedZipf(100, alpha=1.0)
+        s = z.sample(np.random.default_rng(0), 10_000)
+        assert s.min() >= 0 and s.max() < 100
+
+    def test_rank_zero_hottest(self):
+        z = BoundedZipf(100, alpha=1.2)
+        ranks = z.sample_ranks(np.random.default_rng(0), 50_000)
+        counts = np.bincount(ranks, minlength=100)
+        assert counts[0] == counts.max()
+        # Top rank dominates the tail decisively.
+        assert counts[0] > 5 * counts[50]
+
+    def test_alpha_zero_uniform(self):
+        z = BoundedZipf(10, alpha=0.0)
+        ranks = z.sample_ranks(np.random.default_rng(0), 100_000)
+        counts = np.bincount(ranks, minlength=10)
+        assert counts.min() > 0.8 * counts.max()
+
+    def test_permutation_scatters_hot_page(self):
+        rng = np.random.default_rng(5)
+        z = BoundedZipf(1000, alpha=1.5, perm_rng=rng)
+        s = z.sample(np.random.default_rng(0), 10_000)
+        hot = np.bincount(s, minlength=1000).argmax()
+        assert hot != 0  # overwhelmingly likely after permutation
+
+    def test_hot_fraction_pages(self):
+        z = BoundedZipf(1000, alpha=1.2)
+        k = z.hot_fraction_pages(0.5)
+        assert 1 <= k < 1000
+        # Heavier skew → smaller hot set for the same mass.
+        k2 = BoundedZipf(1000, alpha=2.0).hot_fraction_pages(0.5)
+        assert k2 <= k
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            BoundedZipf(0)
+        with pytest.raises(ValueError):
+            BoundedZipf(10, alpha=-1)
+
+    @given(
+        n=st.integers(1, 500),
+        alpha=st.floats(0.0, 3.0, allow_nan=False),
+        size=st.integers(0, 200),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_range_and_shape(self, n, alpha, size):
+        z = BoundedZipf(n, alpha=alpha)
+        s = z.sample(np.random.default_rng(1), size)
+        assert s.shape == (size,)
+        if size:
+            assert s.min() >= 0 and s.max() < n
+
+
+class TestSweeps:
+    def test_sequential_short(self):
+        np.testing.assert_array_equal(sequential_sweep(10, 4), [0, 1, 2, 3])
+
+    def test_sequential_start_wraps(self):
+        np.testing.assert_array_equal(sequential_sweep(4, 4, start=2), [2, 3, 0, 1])
+
+    def test_sequential_with_dwell(self):
+        out = sequential_sweep(3, 7)
+        assert out.size == 7
+        assert set(out) <= {0, 1, 2}
+        # Non-decreasing page order within dwell region.
+        assert (np.diff(out[:6]) >= 0).all()
+
+    def test_windowed_dwell_exact(self):
+        out = windowed_sweep(100, 8, dwell=4)
+        np.testing.assert_array_equal(out, [0, 0, 0, 0, 1, 1, 1, 1])
+
+    def test_windowed_start_and_wrap(self):
+        out = windowed_sweep(4, 8, dwell=2, start=3)
+        np.testing.assert_array_equal(out, [3, 3, 0, 0, 1, 1, 2, 2])
+
+    def test_windowed_pads_remainder(self):
+        out = windowed_sweep(100, 7, dwell=3)
+        assert out.size == 7
+        np.testing.assert_array_equal(out, [0, 0, 0, 1, 1, 1, 1])
+
+    def test_windowed_tlb_miss_bound(self):
+        out = windowed_sweep(1000, 800, dwell=8)
+        transitions = int(np.count_nonzero(np.diff(out))) + 1
+        assert transitions == 100  # 1-in-8 accesses changes page
+
+    def test_strided(self):
+        np.testing.assert_array_equal(strided_sweep(10, 4, 3), [0, 3, 6, 9])
+        np.testing.assert_array_equal(strided_sweep(10, 4, 3, start=5), [5, 8, 1, 4])
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            sequential_sweep(0, 5)
+        with pytest.raises(ValueError):
+            strided_sweep(10, 5, 0)
+        with pytest.raises(ValueError):
+            windowed_sweep(10, 5, 0)
+
+
+class TestUniformPages:
+    def test_range(self):
+        s = uniform_pages(np.random.default_rng(0), 50, 1000)
+        assert s.min() >= 0 and s.max() < 50
+
+    def test_covers_space(self):
+        s = uniform_pages(np.random.default_rng(0), 20, 2000)
+        assert np.unique(s).size == 20
+
+
+class TestRmwExpand:
+    def test_load_store_pairs(self):
+        pages, is_store = rmw_expand(np.array([5, 9]), np.random.default_rng(0))
+        np.testing.assert_array_equal(pages, [5, 5, 9, 9])
+        np.testing.assert_array_equal(is_store, [False, True, False, True])
+
+    def test_store_fraction_zero(self):
+        _, is_store = rmw_expand(np.arange(100), np.random.default_rng(0), 0.0)
+        assert not is_store.any()
+
+    def test_store_fraction_partial(self):
+        _, is_store = rmw_expand(np.arange(10_000), np.random.default_rng(0), 0.5)
+        assert is_store[::2].sum() == 0
+        assert 0.4 < is_store[1::2].mean() < 0.6
+
+
+class TestBatchOnVMA:
+    def _vma(self):
+        m = Machine(MachineConfig(total_frames=1 << 12))
+        return m.mmap(1, 16)
+
+    def test_builds_in_region_addresses(self):
+        vma = self._vma()
+        b = batch_on_vma(vma, np.array([0, 15]), pid=1)
+        np.testing.assert_array_equal(b.vaddr >> 12, [vma.start_vpn, vma.end_vpn - 1])
+
+    def test_out_of_range_rejected(self):
+        vma = self._vma()
+        with pytest.raises(ValueError, match="out of range"):
+            batch_on_vma(vma, np.array([16]), pid=1)
+        with pytest.raises(ValueError, match="out of range"):
+            batch_on_vma(vma, np.array([-1]), pid=1)
+
+    def test_line_offsets_random_but_aligned(self):
+        vma = self._vma()
+        b = batch_on_vma(vma, np.zeros(256, dtype=np.int64), pid=1, rng=np.random.default_rng(0))
+        offs = b.vaddr & np.uint64(0xFFF)
+        assert (offs % 64 == 0).all()
+        assert np.unique(offs).size > 10  # actually randomized
+
+    def test_ip_tag(self):
+        vma = self._vma()
+        b = batch_on_vma(vma, np.array([1]), pid=1, ip=0xDEAD)
+        assert b.ip[0] == 0xDEAD
