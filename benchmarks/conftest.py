@@ -2,29 +2,54 @@
 
 Every bench regenerates one of the paper's tables or figures, printing
 the same rows/series the paper reports and writing a text artifact to
-``benchmarks/results/``.  The expensive machine executions are shared:
-one recorded run per workload (at the paper's adopted 4x IBS rate)
-feeds Figs. 2-6; Table IV and the overhead study run their own
-per-rate configurations.
+``benchmarks/results/``.  The expensive machine executions are shared
+*and cached*: one recorded run per workload (at the paper's adopted 4x
+IBS rate) feeds Figs. 2-6, recorded in parallel through
+:mod:`repro.runner` and reused across sessions from a
+content-addressed cache — a warm session skips all eight machine
+simulations.  Table IV and the overhead study run their own per-rate
+configurations.
+
+Knobs (also honoured by the library itself):
+
+``REPRO_CACHE_DIR``
+    Recorded-run cache directory (default ``benchmarks/.runcache``).
+``REPRO_JOBS``
+    Worker processes for record/evaluate fan-out (default: core count).
+
+Suite timings land in ``BENCH_suite.json`` at the repo root —
+per-workload record time (cold vs warm cache) and per-grid-cell
+evaluate time — so successive PRs have a perf trajectory to compare.
 """
 
 from __future__ import annotations
 
+import json
+import os
 from pathlib import Path
 
 import pytest
 
 from repro.core import TMPConfig
 from repro.memsim import MachineConfig
-from repro.tiering import record_run
-from repro.workloads import WORKLOAD_NAMES, make_workload
+from repro.runner import RecordSpec, RunCache, RunnerMetrics, record_suite
+from repro.workloads import WORKLOAD_NAMES
 
 RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).parent.parent
 
 #: Epochs per recorded run (the scored horizon of every figure).
 BENCH_EPOCHS = 8
 #: Scaled IBS periods (see repro.analysis.tables.RATE_PERIODS).
 PERIOD_DEFAULT, PERIOD_4X, PERIOD_8X = 64, 16, 8
+
+CACHE_DIR = Path(
+    os.environ.get("REPRO_CACHE_DIR", Path(__file__).parent / ".runcache")
+)
+JOBS = int(os.environ.get("REPRO_JOBS", 0) or (os.cpu_count() or 1))
+
+#: Session-wide runner instrumentation, flushed to BENCH_suite.json.
+SUITE_METRICS = RunnerMetrics(jobs=JOBS)
 
 
 def save_artifact(name: str, text: str) -> Path:
@@ -35,16 +60,70 @@ def save_artifact(name: str, text: str) -> Path:
     return path
 
 
-@pytest.fixture(scope="session")
-def recorded_suite():
-    """One recorded run per Table III workload at the 4x trace rate."""
-    suite = {}
-    for name in WORKLOAD_NAMES:
-        suite[name] = record_run(
-            make_workload(name),
+def suite_specs() -> list[RecordSpec]:
+    """The Table III suite at the 4x trace rate — one spec per workload."""
+    return [
+        RecordSpec(
+            name,
             machine_config=MachineConfig.scaled(ibs_period=PERIOD_4X),
             tmp_config=TMPConfig(),
             epochs=BENCH_EPOCHS,
             seed=0,
         )
-    return suite
+        for name in WORKLOAD_NAMES
+    ]
+
+
+@pytest.fixture(scope="session")
+def recorded_suite():
+    """One recorded run per Table III workload at the 4x trace rate.
+
+    Records in parallel (``REPRO_JOBS``) and reuses the on-disk cache
+    across sessions (``REPRO_CACHE_DIR``): a warm cache performs zero
+    machine simulations here.
+    """
+    cache = RunCache(CACHE_DIR)
+    with SUITE_METRICS.stage("record"):
+        runs = record_suite(
+            suite_specs(), jobs=JOBS, cache=cache, metrics=SUITE_METRICS
+        )
+    return dict(zip(WORKLOAD_NAMES, runs))
+
+
+@pytest.fixture(scope="session")
+def suite_metrics():
+    """The session's shared RunnerMetrics (benches add evaluate events)."""
+    return SUITE_METRICS
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not SUITE_METRICS.events:
+        return
+    record = [
+        {"workload": ev.name, "seconds": ev.seconds, "cached": ev.cached}
+        for ev in SUITE_METRICS.events
+        if ev.stage == "record"
+    ]
+    evaluate = [
+        {"cell": ev.name, "seconds": ev.seconds}
+        for ev in SUITE_METRICS.events
+        if ev.stage == "evaluate"
+    ]
+    warm = sum(r["cached"] for r in record)
+    payload = {
+        "jobs": JOBS,
+        "cache_dir": str(CACHE_DIR),
+        "stage_wall_s": SUITE_METRICS.stage_wall_s,
+        "record": record,
+        "evaluate_cells": len(evaluate),
+        "evaluate_s": sum(e["seconds"] for e in evaluate),
+        "evaluate": evaluate,
+        "totals": {
+            "record_s": sum(r["seconds"] for r in record),
+            "warm_records": warm,
+            "cold_records": len(record) - warm,
+        },
+    }
+    (REPO_ROOT / "BENCH_suite.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )

@@ -16,7 +16,7 @@ shape:
 from __future__ import annotations
 
 import numpy as np
-from conftest import save_artifact
+from conftest import JOBS, REPO_ROOT, save_artifact
 
 from repro.analysis import DEFAULT_RATIOS, format_csv, format_series, sweep_recorded
 from repro.workloads import WORKLOAD_NAMES
@@ -24,17 +24,31 @@ from repro.workloads import WORKLOAD_NAMES
 RATIO_LABELS = ["1/8", "1/16", "1/32", "1/64", "1/128"]
 
 
-def _sweep(recorded_suite):
+def _sweep(recorded_suite, metrics=None):
     points = []
     for name in WORKLOAD_NAMES:
-        points.extend(sweep_recorded(recorded_suite[name], ratios=DEFAULT_RATIOS))
+        points.extend(
+            sweep_recorded(
+                recorded_suite[name],
+                ratios=DEFAULT_RATIOS,
+                jobs=JOBS,
+                metrics=metrics,
+            )
+        )
     return points
 
 
-def test_fig6_hitrate(recorded_suite, benchmark):
-    points = benchmark.pedantic(
-        _sweep, args=(recorded_suite,), rounds=1, iterations=1
-    )
+def test_fig6_hitrate(recorded_suite, suite_metrics, benchmark):
+    with suite_metrics.stage("evaluate"):
+        points = benchmark.pedantic(
+            _sweep,
+            args=(recorded_suite,),
+            kwargs={"metrics": suite_metrics},
+            rounds=1,
+            iterations=1,
+        )
+    # The runner's own per-stage instrumentation, for perf trajectory.
+    suite_metrics.write(REPO_ROOT / "BENCH_runner.json")
     grid = {(p.workload, p.policy, p.source, round(p.ratio, 6)): p.hitrate for p in points}
 
     lines = ["Fig. 6 — tier-1 hitrate by policy and monitoring source"]

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Parallel Fig. 6 sweep with the content-addressed run cache.
+
+Runs the paper's headline experiment for two workloads twice through
+``repro.runner``: the first pass records on a process pool and
+populates the cache, the second pass scores the identical grid without
+a single machine simulation.  Prints both grids (they are
+bit-identical) and the runner's per-stage timing summary — the same
+numbers the benchmark suite persists to ``BENCH_runner.json`` /
+``BENCH_suite.json``.
+
+Run:  python examples/parallel_sweep.py
+      REPRO_JOBS=8 python examples/parallel_sweep.py   # wider fan-out
+"""
+
+import json
+import os
+import tempfile
+import time
+
+from repro.analysis import format_series
+from repro.analysis.hitrate import fig6_sweep
+from repro.runner import RunCache, RunnerMetrics
+
+WORKLOADS = ["web-serving", "graph500"]
+RATIOS = (1 / 8, 1 / 16, 1 / 32)
+JOBS = int(os.environ.get("REPRO_JOBS", 0) or (os.cpu_count() or 1))
+
+
+def sweep(cache: RunCache, label: str):
+    metrics = RunnerMetrics(jobs=JOBS)
+    t0 = time.perf_counter()
+    points = fig6_sweep(
+        WORKLOADS,
+        epochs=4,
+        ratios=RATIOS,
+        jobs=JOBS,
+        cache=cache,
+        metrics=metrics,
+    )
+    elapsed = time.perf_counter() - t0
+    recorded = sum(
+        1 for ev in metrics.events if ev.stage == "record" and not ev.cached
+    )
+    cached = sum(
+        1 for ev in metrics.events if ev.stage == "record" and ev.cached
+    )
+    print(
+        f"[{label}] {elapsed:.2f}s with jobs={JOBS}: "
+        f"{recorded} recorded, {cached} from cache, "
+        f"{len(points)} grid cells"
+    )
+    return points, metrics
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="repro-runcache-") as cache_dir:
+        cache = RunCache(cache_dir)
+
+        cold_points, _ = sweep(cache, "cold cache")
+        warm_points, metrics = sweep(cache, "warm cache")
+        assert cold_points == warm_points, "cache changed the results!"
+
+        labels = [f"1/{int(round(1 / r))}" for r in RATIOS]
+        for name in WORKLOADS:
+            print(f"\nFig. 6 grid for {name}:")
+            for policy in ("oracle", "history"):
+                for source in ("abit", "trace", "combined"):
+                    ys = [
+                        p.hitrate
+                        for p in warm_points
+                        if p.workload == name
+                        and p.policy == policy
+                        and p.source == source
+                    ]
+                    print(format_series(f"{policy}/{source}", labels, ys))
+
+        print("\nrunner stage summary (warm pass):")
+        print(json.dumps(metrics.summary()["stages"], indent=2))
+        print(f"\ncache stats: {cache.stats()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -20,6 +20,10 @@ substrate:
     model, and the end-to-end simulator.
 ``repro.analysis``
     The evaluation artifacts as data: Table IV, Figs. 2-6, overheads.
+``repro.runner``
+    Parallel experiment execution: process-pool fan-out of record /
+    evaluate stages, a content-addressed recorded-run cache, and
+    per-stage benchmark instrumentation.
 
 Quickstart::
 
@@ -50,6 +54,7 @@ from .core import (
     TMProfiler,
 )
 from .memsim import AccessBatch, DataSource, Machine, MachineConfig
+from .runner import RecordSpec, RunCache, record_suite
 from .tiering import (
     FCFAPolicy,
     HistoryPolicy,
@@ -75,6 +80,9 @@ __all__ = [
     "MachineConfig",
     "OraclePolicy",
     "RankSource",
+    "RecordSpec",
+    "RunCache",
+    "record_suite",
     "SimulationResult",
     "TMPConfig",
     "TMPDaemon",

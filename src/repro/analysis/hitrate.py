@@ -4,6 +4,12 @@ Uses the record-once / evaluate-offline method (``repro.tiering
 .recorded``): one machine run per workload feeds every (policy,
 monitoring source, tier ratio) evaluation, exactly as the paper
 computed its policy results from recorded hardware profiles.
+
+Both stages go through :mod:`repro.runner`: recordings fan out across
+workloads (and are reused from the content-addressed run cache when
+one is given), evaluations fan out across independent grid cells.
+``jobs=1`` is the classic serial path; any ``jobs`` produces the
+bit-identical grid, just faster.
 """
 
 from __future__ import annotations
@@ -12,9 +18,15 @@ from dataclasses import dataclass
 
 from ..core.config import TMPConfig
 from ..memsim.machine import MachineConfig
-from ..tiering.policies import HistoryPolicy, OraclePolicy
-from ..tiering.recorded import RecordedRun, evaluate_recorded, record_run
-from ..workloads.registry import make_workload
+from ..runner import (
+    GridCell,
+    RecordSpec,
+    RunCache,
+    RunnerMetrics,
+    cache_key,
+    evaluate_grids,
+    record_suite,
+)
 
 __all__ = ["HitratePoint", "sweep_recorded", "fig6_sweep", "DEFAULT_RATIOS"]
 
@@ -23,6 +35,9 @@ DEFAULT_RATIOS = (1 / 8, 1 / 16, 1 / 32, 1 / 64, 1 / 128)
 
 #: The monitoring-source axis of Fig. 6.
 SOURCES = ("abit", "trace", "combined")
+
+#: The policy axis of Fig. 6.
+FIG6_POLICIES = ("oracle", "history")
 
 
 @dataclass
@@ -36,42 +51,39 @@ class HitratePoint:
     hitrate: float
 
 
-def _policy(name: str):
-    if name == "oracle":
-        return OraclePolicy()
-    if name == "history":
-        return HistoryPolicy()
-    raise ValueError(f"unknown Fig. 6 policy {name!r}")
+def _cells(policies, sources, ratios) -> list[GridCell]:
+    return [
+        GridCell(policy, source, ratio)
+        for policy in policies
+        for source in sources
+        for ratio in ratios
+    ]
 
 
 def sweep_recorded(
-    recorded: RecordedRun,
+    recorded,
     *,
-    policies=("oracle", "history"),
+    policies=FIG6_POLICIES,
     sources=SOURCES,
     ratios=DEFAULT_RATIOS,
+    jobs: int | None = 1,
+    metrics: RunnerMetrics | None = None,
 ) -> list[HitratePoint]:
     """Evaluate every (policy, source, ratio) cell on one recording."""
-    points = []
-    for policy_name in policies:
-        for source in sources:
-            for ratio in ratios:
-                res = evaluate_recorded(
-                    recorded,
-                    _policy(policy_name),  # fresh instance: stateful policies
-                    tier1_ratio=ratio,
-                    rank_source=source,
-                )
-                points.append(
-                    HitratePoint(
-                        workload=recorded.workload,
-                        policy=policy_name,
-                        source=source,
-                        ratio=ratio,
-                        hitrate=res.mean_hitrate,
-                    )
-                )
-    return points
+    cells = _cells(policies, sources, ratios)
+    results = evaluate_grids(
+        [(recorded, cells, recorded.workload)], jobs=jobs, metrics=metrics
+    )[0]
+    return [
+        HitratePoint(
+            workload=recorded.workload,
+            policy=cell.policy,
+            source=cell.source,
+            ratio=cell.ratio,
+            hitrate=res.mean_hitrate,
+        )
+        for cell, res in zip(cells, results)
+    ]
 
 
 def fig6_sweep(
@@ -82,16 +94,65 @@ def fig6_sweep(
     ratios=DEFAULT_RATIOS,
     ibs_period: int = 16,  # the paper's adopted 4x rate, scaled
     workload_kw: dict | None = None,
+    policies=FIG6_POLICIES,
+    sources=SOURCES,
+    jobs: int | None = 1,
+    cache: RunCache | None = None,
+    cache_dir=None,
+    metrics: RunnerMetrics | None = None,
+    bench_path=None,
 ) -> list[HitratePoint]:
-    """Record each workload once and sweep the full Fig. 6 grid."""
-    points = []
-    for name in workload_names:
-        recorded = record_run(
-            make_workload(name, **(workload_kw or {})),
+    """Record each workload once and sweep the full Fig. 6 grid.
+
+    ``jobs`` fans recording out across workloads and evaluation across
+    grid cells; ``cache``/``cache_dir`` reuse recordings across calls
+    (content-addressed, so changing any config re-records).  When
+    ``bench_path`` is given, per-stage timings are written there as
+    machine-readable JSON (``BENCH_runner.json`` convention).
+    """
+    if cache is None and cache_dir is not None:
+        cache = RunCache(cache_dir)
+    if metrics is None:
+        metrics = RunnerMetrics(jobs=jobs or 0)
+    specs = [
+        RecordSpec(
+            name,
+            workload_kw=dict(workload_kw or {}),
             machine_config=MachineConfig.scaled(ibs_period=ibs_period),
             tmp_config=TMPConfig(),
             epochs=epochs,
             seed=seed,
         )
-        points.extend(sweep_recorded(recorded, ratios=ratios))
+        for name in workload_names
+    ]
+    with metrics.stage("record"):
+        runs = record_suite(specs, jobs=jobs, cache=cache, metrics=metrics)
+
+    cells = _cells(policies, sources, ratios)
+    grids = []
+    for spec, run in zip(specs, runs):
+        ref = run
+        if jobs != 1 and cache is not None:
+            # Ship the cache path instead of pickling the arrays into
+            # every worker; workers memoize the load per process.
+            path = cache.path_for(cache_key(spec))
+            if path.exists():
+                ref = path
+        grids.append((ref, cells, spec.workload))
+    with metrics.stage("evaluate"):
+        results = evaluate_grids(grids, jobs=jobs, metrics=metrics)
+
+    points = [
+        HitratePoint(
+            workload=spec.workload,
+            policy=cell.policy,
+            source=cell.source,
+            ratio=cell.ratio,
+            hitrate=res.mean_hitrate,
+        )
+        for spec, grid_results in zip(specs, results)
+        for cell, res in zip(cells, grid_results)
+    ]
+    if bench_path is not None:
+        metrics.write(bench_path)
     return points

@@ -14,11 +14,18 @@ experiments can be driven without writing code:
     Print the Fig. 3 / Fig. 4 ASCII heatmaps for one workload.
 ``sweep WORKLOAD``
     The Fig. 6 grid (policies × sources × ratios) for one workload.
+
+``record``, ``evaluate`` and ``sweep`` accept ``--jobs N`` (process-
+pool fan-out; default ``$REPRO_JOBS`` or the core count) and
+``--cache-dir DIR`` (content-addressed recorded-run cache; default
+``$REPRO_CACHE_DIR``).  ``record`` and ``sweep`` accept ``all`` as the
+workload to run the whole Table III suite.  See ``docs/performance.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
@@ -62,24 +69,71 @@ def build_parser() -> argparse.ArgumentParser:
     _common(p)
     p.add_argument("--bins", type=int, default=28, help="address bins (rows)")
 
-    p = sub.add_parser("sweep", help="Fig. 6 grid for one workload")
+    p = sub.add_parser("sweep", help="Fig. 6 grid for one workload (or `all`)")
     _common(p)
+    _runner_opts(p)
+    p.add_argument(
+        "--bench-out", default=None, metavar="PATH",
+        help="write per-stage runner timings as JSON (BENCH_runner.json)",
+    )
 
-    p = sub.add_parser("record", help="record a run to a .npz file")
+    p = sub.add_parser("record", help="record a run (or `all`) to .npz")
     _common(p)
-    p.add_argument("output", help="destination .npz path")
+    _runner_opts(p)
+    p.add_argument(
+        "output",
+        help="destination .npz path (a directory when workload is `all`)",
+    )
     p.add_argument(
         "--no-samples", action="store_true", help="omit raw trace samples (smaller file)"
     )
 
-    p = sub.add_parser("evaluate", help="score a policy on a saved recording")
-    p.add_argument("recording", help=".npz file from `repro record`")
-    p.add_argument("--policy", default="history")
+    p = sub.add_parser("evaluate", help="score policies on a saved recording")
     p.add_argument(
-        "--source", choices=("abit", "trace", "combined"), default="combined"
+        "recording",
+        help=".npz file from `repro record`, or a workload name with "
+        "--cache-dir (recorded on miss)",
     )
-    p.add_argument("--ratio", type=float, default=1 / 16)
+    _runner_opts(p)
+    p.add_argument(
+        "--policy", default="history",
+        help="policy name, or a comma-separated list for a grid",
+    )
+    p.add_argument(
+        "--source", default="combined",
+        help="abit|trace|combined, or a comma-separated list",
+    )
+    p.add_argument(
+        "--ratio", default=str(1 / 16),
+        help="tier1 : footprint, or a comma-separated list",
+    )
+    p.add_argument("--epochs", type=int, default=8, help="epochs when recording")
+    p.add_argument("--seed", type=int, default=0, help="seed when recording")
+    p.add_argument(
+        "--ibs-period", type=int, default=16, help="trace period when recording"
+    )
     return parser
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _runner_opts(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--jobs", type=_positive_int, default=None, metavar="N",
+        help="parallel worker processes (default: $REPRO_JOBS or cpu count)",
+    )
+    p.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="content-addressed recorded-run cache (default: $REPRO_CACHE_DIR)",
+    )
 
 
 def _common(p: argparse.ArgumentParser) -> None:
@@ -120,6 +174,27 @@ def _workload(args):
             f"unknown workload {args.workload!r}; available: {', '.join(WORKLOAD_NAMES)}"
         )
     return make_workload(args.workload)
+
+
+def _workload_names(args) -> list[str]:
+    """Resolve the workload positional, allowing ``all`` for the suite."""
+    from .workloads import WORKLOAD_NAMES
+
+    if args.workload == "all":
+        return list(WORKLOAD_NAMES)
+    if args.workload not in WORKLOAD_NAMES:
+        raise SystemExit(
+            f"unknown workload {args.workload!r}; available: "
+            f"all, {', '.join(WORKLOAD_NAMES)}"
+        )
+    return [args.workload]
+
+
+def _cache(args):
+    from .runner import RunCache
+
+    cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+    return RunCache(cache_dir) if cache_dir else None
 
 
 def _cmd_list(args) -> int:
@@ -250,66 +325,133 @@ def _cmd_heatmap(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
-    from .analysis import DEFAULT_RATIOS, format_series, sweep_recorded
-    from .tiering import record_run
+    from .analysis import DEFAULT_RATIOS, fig6_sweep, format_series
 
-    rec = record_run(
-        _workload(args),
-        machine_config=_machine_config(args),
+    names = _workload_names(args)
+    points = fig6_sweep(
+        names,
         epochs=args.epochs,
         seed=args.seed,
+        ibs_period=args.ibs_period,
+        jobs=args.jobs,
+        cache=_cache(args),
+        bench_path=args.bench_out,
     )
-    points = sweep_recorded(rec)
     labels = [f"1/{int(round(1/r))}" for r in DEFAULT_RATIOS]
-    print(f"Fig. 6 grid for {rec.workload}:")
-    for policy in ("oracle", "history"):
-        for source in ("abit", "trace", "combined"):
-            ys = [
-                p.hitrate
-                for p in points
-                if p.policy == policy and p.source == source
-            ]
-            print(format_series(f"{policy}/{source}", labels, ys))
+    for name in names:
+        print(f"Fig. 6 grid for {name}:")
+        for policy in ("oracle", "history"):
+            for source in ("abit", "trace", "combined"):
+                ys = [
+                    p.hitrate
+                    for p in points
+                    if p.workload == name
+                    and p.policy == policy
+                    and p.source == source
+                ]
+                print(format_series(f"{policy}/{source}", labels, ys))
+    if args.bench_out:
+        print(f"runner timings -> {args.bench_out}")
     return 0
 
 
-def _cmd_record(args) -> int:
-    from .tiering import record_run, save_recorded
+def _record_specs(args, names):
+    from .runner import RecordSpec
 
-    rec = record_run(
-        _workload(args),
-        machine_config=_machine_config(args),
-        epochs=args.epochs,
-        seed=args.seed,
+    return [
+        RecordSpec(
+            name,
+            machine_config=_machine_config(args),
+            epochs=args.epochs,
+            seed=args.seed,
+        )
+        for name in names
+    ]
+
+
+def _cmd_record(args) -> int:
+    from pathlib import Path
+
+    from .runner import record_suite
+    from .tiering import save_recorded
+
+    names = _workload_names(args)
+    runs = record_suite(
+        _record_specs(args, names), jobs=args.jobs, cache=_cache(args)
     )
-    path = save_recorded(rec, args.output, include_samples=not args.no_samples)
-    print(
-        f"recorded {rec.workload}: {rec.n_epochs} epochs, "
-        f"{rec.n_frames} frames -> {path}"
-    )
+    include_samples = not args.no_samples
+    if len(names) == 1:
+        targets = [Path(args.output)]
+    else:
+        out_dir = Path(args.output)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        targets = [out_dir / f"{name}.npz" for name in names]
+    for rec, target in zip(runs, targets):
+        path = save_recorded(rec, target, include_samples=include_samples)
+        print(
+            f"recorded {rec.workload}: {rec.n_epochs} epochs, "
+            f"{rec.n_frames} frames -> {path}"
+        )
     return 0
 
 
 def _cmd_evaluate(args) -> int:
-    from .tiering import evaluate_recorded, load_recorded
-    from .tiering.policies import POLICIES
+    from pathlib import Path
 
-    if args.policy not in POLICIES:
+    from .runner import GridCell, RecordSpec, evaluate_grid, get_or_record
+    from .tiering import load_recorded
+    from .tiering.policies import POLICIES
+    from .workloads import WORKLOAD_NAMES
+
+    policies = args.policy.split(",")
+    sources = args.source.split(",")
+    try:
+        ratios = [float(r) for r in args.ratio.split(",")]
+    except ValueError:
         raise SystemExit(
-            f"unknown policy {args.policy!r}; available: {', '.join(POLICIES)}"
+            f"invalid --ratio {args.ratio!r}: expected a float or a "
+            "comma-separated list of floats"
         )
-    rec = load_recorded(args.recording)
-    res = evaluate_recorded(
-        rec,
-        POLICIES[args.policy](),
-        tier1_ratio=args.ratio,
-        rank_source=args.source,
-    )
-    print(
-        f"{res.workload} / {res.policy} / {res.rank_source} "
-        f"@ tier1={args.ratio:.4g}: hitrate={res.mean_hitrate:.3f} "
-        f"migrations={res.total_migrations} runtime={res.total_runtime_s:.2f}s"
-    )
+    for policy in policies:
+        if policy not in POLICIES:
+            raise SystemExit(
+                f"unknown policy {policy!r}; available: {', '.join(POLICIES)}"
+            )
+
+    cache = _cache(args)
+    if Path(args.recording).exists():
+        rec = load_recorded(args.recording)
+    elif args.recording in WORKLOAD_NAMES and cache is not None:
+        # Resolve via the cache: load the content-addressed entry for
+        # this exact config, recording it on a miss.
+        rec = get_or_record(
+            RecordSpec(
+                args.recording,
+                machine_config=_machine_config(args),
+                epochs=args.epochs,
+                seed=args.seed,
+            ),
+            cache=cache,
+        )
+    else:
+        raise SystemExit(
+            f"recording {args.recording!r} is neither a file nor a workload "
+            "name usable with --cache-dir"
+        )
+
+    cells = [
+        GridCell(policy, source, ratio)
+        for policy in policies
+        for source in sources
+        for ratio in ratios
+    ]
+    results = evaluate_grid(rec, cells, jobs=args.jobs)
+    for cell, res in zip(cells, results):
+        print(
+            f"{res.workload} / {res.policy} / {res.rank_source} "
+            f"@ tier1={cell.ratio:.4g}: hitrate={res.mean_hitrate:.3f} "
+            f"migrations={res.total_migrations} runtime={res.total_runtime_s:.2f}s"
+        )
     return 0
 
 

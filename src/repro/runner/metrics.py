@@ -1,0 +1,95 @@
+"""Per-stage wall-clock/throughput instrumentation for the runner.
+
+Every record and evaluate step reports one :class:`StageEvent`;
+:meth:`RunnerMetrics.write` emits the whole session as machine-readable
+JSON (``BENCH_runner.json`` / ``BENCH_suite.json``) so successive PRs
+have a performance trajectory to compare against.
+
+Two clocks are kept on purpose: per-event ``seconds`` sum to the CPU
+work done (across all pool workers), while :meth:`RunnerMetrics.stage`
+brackets measure the wall-clock of a whole fan-out — their ratio is the
+achieved parallel speedup.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+__all__ = ["StageEvent", "RunnerMetrics"]
+
+
+@dataclass
+class StageEvent:
+    """One timed unit of runner work."""
+
+    stage: str          # "record" | "evaluate" | caller-defined
+    name: str           # workload or grid-cell label
+    seconds: float      # time spent on this unit (in its worker)
+    items: int = 1      # work items (epochs recorded, cells scored)
+    cached: bool = False  # served from the run cache, not computed
+
+
+class RunnerMetrics:
+    """Collects stage events and renders a JSON benchmark report."""
+
+    def __init__(self, jobs: int = 1):
+        self.jobs = jobs
+        self.events: list[StageEvent] = []
+        self.stage_wall_s: dict[str, float] = {}
+
+    def add(
+        self,
+        stage: str,
+        name: str,
+        seconds: float,
+        *,
+        items: int = 1,
+        cached: bool = False,
+    ) -> None:
+        self.events.append(StageEvent(stage, name, seconds, items, cached))
+
+    @contextmanager
+    def stage(self, stage: str):
+        """Bracket a whole fan-out to capture its wall-clock."""
+        t0 = time.perf_counter()
+        try:
+            yield self
+        finally:
+            elapsed = time.perf_counter() - t0
+            self.stage_wall_s[stage] = self.stage_wall_s.get(stage, 0.0) + elapsed
+
+    def summary(self) -> dict:
+        stages: dict[str, dict] = {}
+        for ev in self.events:
+            s = stages.setdefault(
+                ev.stage,
+                {"events": 0, "items": 0, "work_seconds": 0.0, "cached": 0},
+            )
+            s["events"] += 1
+            s["items"] += ev.items
+            s["work_seconds"] += ev.seconds
+            s["cached"] += bool(ev.cached)
+        for name, s in stages.items():
+            wall = self.stage_wall_s.get(name)
+            if wall:
+                s["wall_seconds"] = wall
+                s["events_per_s"] = s["events"] / wall
+                s["items_per_s"] = s["items"] / wall
+                if s["work_seconds"] > 0:
+                    s["parallel_speedup"] = s["work_seconds"] / wall
+        return {
+            "generated_unix": time.time(),
+            "jobs": self.jobs,
+            "stages": stages,
+            "events": [asdict(ev) for ev in self.events],
+        }
+
+    def write(self, path: str | Path) -> Path:
+        """Write the summary as JSON; returns the path."""
+        path = Path(path)
+        path.write_text(json.dumps(self.summary(), indent=2) + "\n")
+        return path

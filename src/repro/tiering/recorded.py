@@ -69,10 +69,31 @@ class RecordedRun:
     epochs: list[EpochRecord] = field(default_factory=list)
     #: Whole-run raw machine event totals (retired ops, misses, walks).
     event_totals: dict = field(default_factory=dict)
+    #: (epoch index, capacity) → ground-truth hot mask.  Every
+    #: policy × source cell of a sweep shares the same truth, so the
+    #: top-k selection is computed once per (recording, capacity).
+    _hot_mask_cache: dict = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     @property
     def n_epochs(self) -> int:
         return len(self.epochs)
+
+    def hot_mask(self, epoch_index: int, capacity: int) -> np.ndarray:
+        """Boolean per-PFN mask of the epoch's ``capacity`` hottest pages.
+
+        Memoized; callers must treat the returned array as read-only.
+        """
+        key = (epoch_index, capacity)
+        mask = self._hot_mask_cache.get(key)
+        if mask is None:
+            rec = self.epochs[epoch_index]
+            hot = top_k_pages(rec.counts.astype(np.float64), capacity)
+            mask = np.zeros(self.n_frames, dtype=bool)
+            mask[hot] = True
+            self._hot_mask_cache[key] = mask
+        return mask
 
 
 def record_run(
@@ -231,7 +252,7 @@ def evaluate_recorded(
     )
 
     prev_profile = None
-    for rec in recorded.epochs:
+    for epoch_index, rec in enumerate(recorded.epochs):
         # First-touch placement of frames that appeared by this epoch.
         newly = recorded.first_touch_epoch <= rec.epoch
         fcfa_place_new(tiers, recorded.first_touch_op, newly)
@@ -255,9 +276,7 @@ def evaluate_recorded(
         total_mem = rec.mem_counts.sum()
         hitrate = float(tier1_mem / total_mem) if total_mem else 1.0
 
-        hot = top_k_pages(rec.counts.astype(np.float64), capacity)
-        hot_mask = np.zeros(recorded.n_frames, dtype=bool)
-        hot_mask[hot] = True
+        hot_mask = recorded.hot_mask(epoch_index, capacity)
         latency = lm.epoch_latency(
             base_s=base_epoch_s,
             access_counts=rec.counts,

@@ -18,9 +18,16 @@ from ..core.page_stats import EpochProfile
 from ..memsim.events import SampleBatch
 from .recorded import EpochRecord, RecordedRun
 
-__all__ = ["save_recorded", "load_recorded"]
+__all__ = ["save_recorded", "load_recorded", "FORMAT_VERSION"]
 
-_FORMAT_VERSION = 1
+#: Bump whenever the on-disk layout or its semantics change.  The
+#: runner's content-addressed cache hashes this into every key, so a
+#: bump invalidates all cached recordings at once (see
+#: :func:`repro.runner.cache.cache_key`).
+_FORMAT_VERSION = 2
+
+#: Public alias for cache-key composition and tests.
+FORMAT_VERSION = _FORMAT_VERSION
 
 _SAMPLE_FIELDS = (
     "op_idx",
@@ -46,12 +53,14 @@ def save_recorded(
         "footprint_pages": recorded.footprint_pages,
         "n_frames": recorded.n_frames,
         "n_epochs": recorded.n_epochs,
-        "event_totals": recorded.event_totals,
+        # Machine counters may be numpy integers; coerce so the JSON
+        # header round-trips them as plain ints.
+        "event_totals": {str(k): int(v) for k, v in recorded.event_totals.items()},
         "epoch_meta": [
             {
-                "epoch": r.epoch,
-                "accesses": r.accesses,
-                "overhead_s": r.overhead_s,
+                "epoch": int(r.epoch),
+                "accesses": int(r.accesses),
+                "overhead_s": float(r.overhead_s),
                 "has_samples": bool(include_samples and r.samples is not None),
             }
             for r in recorded.epochs

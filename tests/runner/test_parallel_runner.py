@@ -1,0 +1,157 @@
+"""Tests for the parallel record/evaluate executor.
+
+The load-bearing guarantees: ``jobs=1`` and ``jobs=N`` produce
+bit-identical results (determinism), and a warm cache performs zero
+machine simulations (amortization).
+"""
+
+import pytest
+
+import repro.runner.executor as executor
+from repro.analysis.hitrate import fig6_sweep, sweep_recorded
+from repro.memsim import MachineConfig
+from repro.runner import (
+    GridCell,
+    RecordSpec,
+    RunCache,
+    RunnerMetrics,
+    evaluate_grid,
+    record_suite,
+)
+from repro.workloads import WORKLOAD_NAMES
+
+#: Shrunken Table III suite: every workload, tiny footprints/streams.
+SMALL_KW = {"footprint_pages": 1024, "accesses_per_epoch": 10_000}
+
+
+def _specs(names=("web-serving", "graph500"), **overrides):
+    defaults = dict(
+        workload_kw=dict(SMALL_KW),
+        machine_config=MachineConfig.scaled(ibs_period=16),
+        epochs=2,
+        seed=0,
+    )
+    defaults.update(overrides)
+    return [RecordSpec(name, **defaults) for name in names]
+
+
+class TestRecordSuite:
+    def test_results_aligned_with_specs(self, tmp_path):
+        specs = _specs()
+        runs = record_suite(specs, jobs=1, cache=RunCache(tmp_path))
+        assert [r.workload for r in runs] == [s.workload for s in specs]
+
+    def test_warm_cache_skips_all_machine_simulations(self, tmp_path, monkeypatch):
+        """Acceptance: a warm cache records nothing — for all 8 workloads."""
+        calls = []
+        real = executor.record_run
+
+        def counting_record_run(*args, **kwargs):
+            calls.append(1)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(executor, "record_run", counting_record_run)
+        specs = _specs(names=WORKLOAD_NAMES)
+        cache = RunCache(tmp_path)
+
+        cold = record_suite(specs, jobs=1, cache=cache)
+        assert len(calls) == len(WORKLOAD_NAMES)
+
+        calls.clear()
+        warm = record_suite(specs, jobs=1, cache=cache)
+        assert calls == [], "warm cache must skip every machine simulation"
+        for a, b in zip(cold, warm):
+            assert a.workload == b.workload
+            assert a.n_epochs == b.n_epochs
+
+    def test_metrics_mark_cache_hits(self, tmp_path):
+        cache = RunCache(tmp_path)
+        record_suite(_specs(), jobs=1, cache=cache)
+        metrics = RunnerMetrics(jobs=1)
+        record_suite(_specs(), jobs=1, cache=cache, metrics=metrics)
+        assert all(ev.cached for ev in metrics.events if ev.stage == "record")
+
+    def test_parallel_record_matches_serial(self, tmp_path):
+        serial = record_suite(_specs(), jobs=1)
+        parallel = record_suite(_specs(), jobs=2)
+        for a, b in zip(serial, parallel):
+            assert a.workload == b.workload
+            assert a.event_totals == b.event_totals
+            for ea, eb in zip(a.epochs, b.epochs):
+                assert ea.accesses == eb.accesses
+                assert (ea.counts == eb.counts).all()
+
+
+class TestEvaluateGrid:
+    @pytest.fixture(scope="class")
+    def recording(self):
+        return _specs(names=("web-serving",))[0].record()
+
+    def test_unknown_policy_rejected_eagerly(self, recording):
+        with pytest.raises(ValueError, match="unknown policy"):
+            evaluate_grid(recording, [GridCell("vibes", "abit", 1 / 8)], jobs=1)
+
+    def test_parallel_cells_identical_to_serial(self, recording):
+        cells = [
+            GridCell(policy, source, ratio)
+            for policy in ("oracle", "history")
+            for source in ("abit", "trace", "combined")
+            for ratio in (1 / 8, 1 / 32)
+        ]
+        serial = evaluate_grid(recording, cells, jobs=1)
+        parallel = evaluate_grid(recording, cells, jobs=3)
+        assert [r.mean_hitrate for r in serial] == [
+            r.mean_hitrate for r in parallel
+        ]
+        assert [r.total_migrations for r in serial] == [
+            r.total_migrations for r in parallel
+        ]
+
+    def test_evaluate_from_cache_path(self, recording, tmp_path):
+        from repro.tiering import save_recorded
+
+        path = save_recorded(recording, tmp_path / "run.npz")
+        cells = [GridCell("oracle", "combined", 1 / 8)]
+        direct = evaluate_grid(recording, cells, jobs=1)
+        via_path = evaluate_grid(str(path), cells, jobs=2)
+        assert direct[0].mean_hitrate == via_path[0].mean_hitrate
+
+
+class TestSweepDeterminism:
+    def test_fig6_jobs1_vs_jobs4_bit_identical(self, tmp_path):
+        """Acceptance: the parallel sweep is indistinguishable from serial."""
+        kw = dict(
+            epochs=2,
+            workload_kw=dict(SMALL_KW),
+            ratios=(1 / 8, 1 / 32),
+        )
+        names = ["web-serving", "graph500"]
+        serial = fig6_sweep(names, jobs=1, **kw)
+        parallel = fig6_sweep(names, jobs=4, cache_dir=tmp_path, **kw)
+        assert serial == parallel  # HitratePoint dataclass eq: exact floats
+        # And again from the warm cache.
+        warm = fig6_sweep(names, jobs=4, cache_dir=tmp_path, **kw)
+        assert serial == warm
+
+    def test_sweep_recorded_jobs_identical(self):
+        rec = _specs(names=("graph500",))[0].record()
+        assert sweep_recorded(rec, ratios=(1 / 8,), jobs=1) == sweep_recorded(
+            rec, ratios=(1 / 8,), jobs=2
+        )
+
+
+class TestHotMaskMemo:
+    def test_memo_shared_across_cells(self):
+        rec = _specs(names=("web-serving",))[0].record()
+        assert rec._hot_mask_cache == {}
+        sweep_recorded(rec, ratios=(1 / 8, 1 / 32), jobs=1)
+        # One entry per (epoch, capacity), not per policy x source cell.
+        assert len(rec._hot_mask_cache) == rec.n_epochs * 2
+
+    def test_memo_does_not_change_results(self):
+        spec = _specs(names=("web-serving",))[0]
+        fresh_each_time = [
+            sweep_recorded(spec.record(), ratios=(1 / 16,), jobs=1)
+            for _ in range(2)
+        ]
+        assert fresh_each_time[0] == fresh_each_time[1]

@@ -1,0 +1,122 @@
+"""Tests for the content-addressed recorded-run cache."""
+
+import numpy as np
+import pytest
+
+from repro.core import TMPConfig
+from repro.memsim import MachineConfig
+from repro.runner import RecordSpec, RunCache, cache_key, get_or_record
+from repro.tiering import evaluate_recorded
+from repro.tiering.policies import HistoryPolicy
+
+
+def _spec(**overrides):
+    defaults = dict(
+        workload="web-serving",
+        workload_kw={"accesses_per_epoch": 20_000},
+        machine_config=MachineConfig.scaled(ibs_period=16),
+        tmp_config=TMPConfig(),
+        epochs=2,
+        seed=0,
+    )
+    defaults.update(overrides)
+    return RecordSpec(**defaults)
+
+
+class TestCacheKey:
+    def test_stable_across_instances(self):
+        assert cache_key(_spec()) == cache_key(_spec())
+
+    def test_none_configs_hash_as_defaults(self):
+        # record_run substitutes MachineConfig.scaled() / TMPConfig()
+        # for None, so the key must too.
+        explicit = RecordSpec(
+            "gups",
+            machine_config=MachineConfig.scaled(),
+            tmp_config=TMPConfig(),
+        )
+        assert cache_key(RecordSpec("gups")) == cache_key(explicit)
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"seed": 1},
+            {"epochs": 3},
+            {"workload": "gups"},
+            {"workload_kw": {"accesses_per_epoch": 30_000}},
+            {"machine_config": MachineConfig.scaled(ibs_period=64)},
+            {"tmp_config": TMPConfig(abit_weight=2.0)},
+            {"init": False},
+            {"epoch_slices": 2},
+        ],
+    )
+    def test_any_config_change_misses(self, change):
+        assert cache_key(_spec()) != cache_key(_spec(**change))
+
+    def test_format_version_participates(self, monkeypatch):
+        from repro.tiering import serialize
+
+        base = cache_key(_spec())
+        monkeypatch.setattr(serialize, "_FORMAT_VERSION", serialize._FORMAT_VERSION + 1)
+        assert cache_key(_spec()) != base
+
+
+class TestRunCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = RunCache(tmp_path)
+        spec = _spec()
+        key = cache_key(spec)
+        assert cache.get(key) is None
+        run = spec.record()
+        cache.put(key, run)
+        assert key in cache
+        loaded = cache.get(key)
+        assert loaded is not None
+        assert loaded.workload == run.workload
+        assert cache.stats()["hits"] == 1
+
+    def test_hit_preserves_evaluation(self, tmp_path):
+        cache = RunCache(tmp_path)
+        spec = _spec()
+        run = spec.record()
+        cache.put(cache_key(spec), run)
+        loaded = cache.get(cache_key(spec))
+        a = evaluate_recorded(run, HistoryPolicy(), tier1_ratio=1 / 16)
+        b = evaluate_recorded(loaded, HistoryPolicy(), tier1_ratio=1 / 16)
+        assert a.mean_hitrate == b.mean_hitrate
+
+    def test_changed_config_misses_on_disk(self, tmp_path):
+        cache = RunCache(tmp_path)
+        spec = _spec()
+        cache.put(cache_key(spec), spec.record())
+        assert cache.get(cache_key(_spec(seed=1))) is None
+
+    def test_corrupted_entry_recovers(self, tmp_path):
+        cache = RunCache(tmp_path)
+        spec = _spec()
+        key = cache_key(spec)
+        cache.path_for(key).write_bytes(b"not a numpy archive")
+        # Corruption is a miss, and the torn entry is removed.
+        assert cache.get(key) is None
+        assert cache.stats()["errors"] == 1
+        assert not cache.path_for(key).exists()
+        # get_or_record then repopulates the slot instead of crashing.
+        run = get_or_record(spec, cache=cache)
+        assert run.n_epochs == spec.epochs
+        assert cache.path_for(key).exists()
+
+    def test_truncated_entry_recovers(self, tmp_path):
+        cache = RunCache(tmp_path)
+        spec = _spec()
+        key = cache_key(spec)
+        cache.put(key, spec.record())
+        payload = cache.path_for(key).read_bytes()
+        cache.path_for(key).write_bytes(payload[: len(payload) // 2])
+        assert cache.get(key) is None
+        assert not cache.path_for(key).exists()
+
+    def test_put_is_atomic_no_temp_residue(self, tmp_path):
+        cache = RunCache(tmp_path)
+        spec = _spec()
+        cache.put(cache_key(spec), spec.record())
+        assert [p.name for p in tmp_path.glob(".*tmp*")] == []

@@ -7,6 +7,7 @@ experiment 100x slower.  Floors are set ~5x below observed throughput
 on a modest machine.
 """
 
+import os
 import time
 
 import numpy as np
@@ -50,6 +51,74 @@ class TestThroughputFloors:
         rate = _throughput(lambda: w.epoch(0, rng), w.accesses_per_epoch)
         assert rate > 500_000, f"workload generation at {rate:.0f} accesses/s"
 
+class TestRunnerThroughput:
+    """Floors for the experiment runner's offline evaluation path."""
+
+    def test_recorded_sweep_throughput(self):
+        # The hot-set memo plus vectorized evaluation must keep offline
+        # scoring far cheaper than recording: floor ~10x under observed.
+        from repro.analysis.hitrate import sweep_recorded
+        from repro.tiering import record_run
+        from repro.workloads import make_workload
+
+        rec = record_run(
+            make_workload("web-serving", accesses_per_epoch=40_000),
+            machine_config=MachineConfig.scaled(ibs_period=16),
+            epochs=4,
+            seed=0,
+        )
+        n_cells = [0]
+
+        def sweep():
+            n_cells[0] = len(sweep_recorded(rec, jobs=1))
+
+        rate = _throughput(sweep, 1)
+        cells_per_s = n_cells[0] * rate
+        assert cells_per_s > 40, f"offline sweep at {cells_per_s:.0f} cells/s"
+
+    def test_cache_hit_faster_than_recording(self, tmp_path):
+        # A warm cache must make the recording stage nearly free.
+        from repro.runner import RecordSpec, RunCache, cache_key
+
+        spec = RecordSpec(
+            "web-serving",
+            workload_kw={"accesses_per_epoch": 40_000},
+            machine_config=MachineConfig.scaled(ibs_period=16),
+            epochs=4,
+        )
+        cache = RunCache(tmp_path)
+        t0 = time.perf_counter()
+        cache.put(cache_key(spec), spec.record())
+        cold_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        assert cache.get(cache_key(spec)) is not None
+        warm_s = time.perf_counter() - t0
+        assert warm_s < cold_s / 2, f"cache hit {warm_s:.3f}s vs record {cold_s:.3f}s"
+
+    @pytest.mark.skipif(
+        (os.cpu_count() or 1) < 4, reason="parallel speedup floor needs >= 4 cores"
+    )
+    def test_parallel_sweep_speedup(self, tmp_path):
+        # Acceptance: cold fig6 sweep with jobs=4 is >= 2x faster than
+        # jobs=1 on a 4-core runner, with an identical grid.
+        from repro.analysis.hitrate import fig6_sweep
+
+        kw = dict(epochs=4, ratios=(1 / 8, 1 / 32, 1 / 128))
+        names = ["web-serving", "graph500", "gups", "data-caching"]
+        t0 = time.perf_counter()
+        serial = fig6_sweep(names, jobs=1, **kw)
+        serial_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        parallel = fig6_sweep(names, jobs=4, **kw)
+        parallel_s = time.perf_counter() - t0
+        assert serial == parallel
+        assert serial_s / parallel_s >= 2.0, (
+            f"jobs=4 speedup only {serial_s / parallel_s:.2f}x "
+            f"({serial_s:.2f}s -> {parallel_s:.2f}s)"
+        )
+
+
+class TestTinyBatches:
     @pytest.mark.parametrize("n", [0, 1, 2])
     def test_tiny_batches_no_pathology(self, n):
         # Fixed overhead per batch must stay tiny (epoch slicing relies

@@ -60,6 +60,69 @@ class TestRoundTrip:
         assert a.mean_hitrate == b.mean_hitrate
         assert a.total_migrations == b.total_migrations
 
+    def test_event_totals_roundtrip(self, recording, tmp_path):
+        # Machine counters arrive as numpy integers; the header must
+        # round-trip them as plain ints with identical values.
+        recording.event_totals["np_counter"] = np.int64(12345)
+        try:
+            loaded = load_recorded(save_recorded(recording, tmp_path / "run.npz"))
+        finally:
+            del recording.event_totals["np_counter"]
+        assert loaded.event_totals["np_counter"] == 12345
+        assert all(type(v) is int for v in loaded.event_totals.values())
+
+    def test_empty_event_totals(self, recording, tmp_path):
+        slim = save_recorded(
+            type(recording)(
+                workload=recording.workload,
+                footprint_pages=recording.footprint_pages,
+                n_frames=recording.n_frames,
+                first_touch_epoch=recording.first_touch_epoch,
+                first_touch_op=recording.first_touch_op,
+                epochs=recording.epochs,
+                event_totals={},
+            ),
+            tmp_path / "empty.npz",
+        )
+        assert load_recorded(slim).event_totals == {}
+
+    def test_samples_none_epochs_roundtrip(self, recording, tmp_path):
+        # Recordings whose epochs carry no drained samples (the cache's
+        # slim mode, or samplers disabled) must survive save/load even
+        # with include_samples=True.
+        import dataclasses
+
+        stripped = type(recording)(
+            workload=recording.workload,
+            footprint_pages=recording.footprint_pages,
+            n_frames=recording.n_frames,
+            first_touch_epoch=recording.first_touch_epoch,
+            first_touch_op=recording.first_touch_op,
+            epochs=[
+                dataclasses.replace(e, samples=None) for e in recording.epochs
+            ],
+            event_totals=recording.event_totals,
+        )
+        loaded = load_recorded(
+            save_recorded(stripped, tmp_path / "nosamples.npz")
+        )
+        assert loaded.n_epochs == recording.n_epochs
+        assert all(e.samples is None for e in loaded.epochs)
+        np.testing.assert_array_equal(
+            loaded.epochs[0].counts, recording.epochs[0].counts
+        )
+
+    def test_format_version_exported_and_written(self, recording, tmp_path):
+        import json
+
+        from repro.tiering.serialize import _FORMAT_VERSION, FORMAT_VERSION
+
+        assert FORMAT_VERSION == _FORMAT_VERSION
+        p = save_recorded(recording, tmp_path / "run.npz")
+        with np.load(p) as data:
+            meta = json.loads(bytes(data["_meta"]).decode())
+        assert meta["format_version"] == FORMAT_VERSION
+
     def test_bad_version_rejected(self, recording, tmp_path):
         import json
 
