@@ -24,6 +24,11 @@ substrate:
     Parallel experiment execution: process-pool fan-out of record /
     evaluate stages, a content-addressed recorded-run cache, and
     per-stage benchmark instrumentation.
+``repro.service``
+    The online profiling service: an asyncio JSON-lines server
+    (``repro serve``) hosting many concurrent simulator+daemon
+    sessions with streaming per-epoch telemetry, plus the blocking
+    ``ServiceClient``.
 
 Quickstart::
 
@@ -68,7 +73,7 @@ from .tiering import (
 )
 from .workloads import WORKLOAD_NAMES, make_workload, paper_suite
 
-__version__ = "0.1.0"
+__version__ = "0.3.0"
 
 __all__ = [
     "AccessBatch",

@@ -14,6 +14,9 @@ experiments can be driven without writing code:
     Print the Fig. 3 / Fig. 4 ASCII heatmaps for one workload.
 ``sweep WORKLOAD``
     The Fig. 6 grid (policies × sources × ratios) for one workload.
+``serve``
+    Run the online multi-session profiling service (JSON lines over
+    TCP or a unix socket); see ``docs/service.md``.
 
 ``record``, ``evaluate`` and ``sweep`` accept ``--jobs N`` (process-
 pool fan-out; default ``$REPRO_JOBS`` or the core count) and
@@ -34,9 +37,14 @@ __all__ = ["main", "build_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from . import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="TMP tiered-memory profiling reproduction (IPDPS 2021)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -112,6 +120,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--ibs-period", type=int, default=16, help="trace period when recording"
     )
+
+    p = sub.add_parser(
+        "serve", help="run the online profiling service (docs/service.md)"
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address (TCP mode)")
+    p.add_argument(
+        "--port", type=int, default=7790, help="TCP port (0 picks a free one)"
+    )
+    p.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="serve on a unix socket instead of TCP",
+    )
+    p.add_argument(
+        "--max-sessions", type=_positive_int, default=16,
+        help="admission limit on concurrent sessions",
+    )
+    p.add_argument(
+        "--idle-ttl", type=float, default=600.0, metavar="SECONDS",
+        help="evict sessions idle longer than this (<= 0 disables)",
+    )
+    p.add_argument(
+        "--step-workers", type=_positive_int, default=None, metavar="N",
+        help="worker threads executing session steps",
+    )
     return parser
 
 
@@ -156,6 +188,7 @@ def main(argv=None) -> int:
         "sweep": _cmd_sweep,
         "record": _cmd_record,
         "evaluate": _cmd_evaluate,
+        "serve": _cmd_serve,
     }[args.command]
     return handler(args)
 
@@ -452,6 +485,38 @@ def _cmd_evaluate(args) -> int:
             f"@ tier1={cell.ratio:.4g}: hitrate={res.mean_hitrate:.3f} "
             f"migrations={res.total_migrations} runtime={res.total_runtime_s:.2f}s"
         )
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .service import ServiceServer
+
+    async def _serve() -> None:
+        server = ServiceServer(
+            host=args.host,
+            port=args.port,
+            socket_path=args.socket,
+            max_sessions=args.max_sessions,
+            idle_ttl_s=args.idle_ttl,
+            step_workers=args.step_workers,
+        )
+        await server.start()
+        if isinstance(server.address, tuple):
+            where = "{}:{}".format(*server.address)
+        else:
+            where = server.address
+        print(
+            f"repro service listening on {where} "
+            f"(max_sessions={args.max_sessions}, idle_ttl={args.idle_ttl:g}s); "
+            "SIGTERM drains gracefully",
+            flush=True,
+        )
+        await server.serve_forever()
+        print("repro service drained, exiting", flush=True)
+
+    asyncio.run(_serve())
     return 0
 
 

@@ -50,8 +50,21 @@ class TMPDaemon:
         return self.add_program(workload.name, workload.pids)
 
     def remove_program(self, name: str) -> None:
-        """Forget a program (its pages' history is retained)."""
-        self.programs.pop(name, None)
+        """Forget a program and stop profiling its PIDs.
+
+        The program's PIDs are unregistered from the profiler and
+        dropped from the process filter's tracked set — unless another
+        registered program still owns them — so a removed program is
+        neither walked nor charged overhead any more.  Its pages'
+        history is retained.
+        """
+        entry = self.programs.pop(name, None)
+        if entry is None:
+            return
+        still_owned = {p for e in self.programs.values() for p in e.pids}
+        self.profiler.unregister_pids(
+            [p for p in entry.pids if p not in still_owned]
+        )
 
     # --------------------------------------------------------------- polling
 
@@ -60,14 +73,26 @@ class TMPDaemon:
         return self.profiler.end_epoch()
 
     def reconfigure(self, **changes) -> TMPConfig:
-        """Apply config changes (e.g. sampling period) at run time."""
+        """Apply config changes (e.g. sampling period) at run time.
+
+        Plain ``TMPConfig`` fields are mutated in place (the drivers
+        re-read them at every epoch boundary, so the change is live).
+        Knobs that live in a driver rather than the config are routed
+        to the driver: ``trace_sample_period`` reprograms the trace
+        sampler through :meth:`set_trace_period`.  Unknown keys raise
+        before anything is mutated.
+        """
         if "trace_source" in changes:
             raise ValueError("trace_source cannot be changed after start")
         cfg = self.profiler.config
-        for key, value in changes.items():
+        trace_period = changes.pop("trace_sample_period", None)
+        for key in changes:
             if not hasattr(cfg, key):
                 raise AttributeError(f"TMPConfig has no parameter {key!r}")
+        for key, value in changes.items():
             setattr(cfg, key, value)
+        if trace_period is not None:
+            self.set_trace_period(int(trace_period))
         return cfg
 
     def set_trace_period(self, period: int) -> None:

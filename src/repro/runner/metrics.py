@@ -49,8 +49,10 @@ class RunnerMetrics:
         *,
         items: int = 1,
         cached: bool = False,
-    ) -> None:
-        self.events.append(StageEvent(stage, name, seconds, items, cached))
+    ) -> StageEvent:
+        event = StageEvent(stage, name, seconds, items, cached)
+        self.events.append(event)
+        return event
 
     @contextmanager
     def stage(self, stage: str):

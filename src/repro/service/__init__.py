@@ -1,0 +1,47 @@
+"""repro.service — the online multi-session profiling service.
+
+The paper's TMP is a long-running user-space daemon that watches many
+processes at once and surfaces statistics to operators (§III-B.3); the
+batch commands (`profile`/`tier`/`record`) only ever exercised it one
+run at a time.  This subsystem hosts many concurrent profiling
+*sessions* — each a :class:`~repro.tiering.simulator.TieredSimulator`
+plus :class:`~repro.core.daemon.TMPDaemon` built from a config supplied
+at session creation — behind an asyncio JSON-lines server
+(``repro serve``), with streaming per-epoch telemetry, bounded
+drop-oldest subscriber queues, idle eviction, an admission limit, and
+graceful drain on SIGTERM.
+
+Layering:
+
+``protocol``
+    The wire format: one JSON object per line; request/response and
+    server-push event frames; error codes.
+``telemetry``
+    :class:`EpochMetrics`/:class:`SimulationResult` → JSON-safe dicts.
+``session``
+    One profiling session: simulator + daemon + subscriber queues.
+``manager``
+    The session registry: admission, lookup, TTL/idle eviction.
+``server``
+    The asyncio JSON-lines server (TCP or unix socket) and a
+    thread-hosted variant for embedding in sync programs and tests.
+``client``
+    A blocking socket client (`ServiceClient`).
+"""
+
+from .client import ServiceClient
+from .manager import SessionManager
+from .protocol import ErrorCode, ServiceError
+from .server import ServerThread, ServiceServer
+from .session import ProfilingSession, SubscriberQueue
+
+__all__ = [
+    "ErrorCode",
+    "ProfilingSession",
+    "ServerThread",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+    "SessionManager",
+    "SubscriberQueue",
+]

@@ -1,0 +1,117 @@
+"""The session registry: admission, lookup, and idle eviction.
+
+Enforces the server's multi-tenancy envelope: at most ``max_sessions``
+live sessions (admission is checked *before* the expensive session
+construction, and the slot is reserved so concurrent creates cannot
+oversubscribe), and sessions idle longer than ``idle_ttl_s`` are
+evicted by the server's reaper task.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from .protocol import ErrorCode, ServiceError
+from .session import ProfilingSession
+
+__all__ = ["SessionManager"]
+
+
+class SessionManager:
+    """Creates, finds, evicts, and closes profiling sessions."""
+
+    def __init__(
+        self,
+        max_sessions: int = 16,
+        idle_ttl_s: float = 600.0,
+        clock=time.monotonic,
+    ):
+        if max_sessions < 1:
+            raise ValueError(f"max_sessions must be >= 1, got {max_sessions}")
+        self.max_sessions = int(max_sessions)
+        self.idle_ttl_s = float(idle_ttl_s)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._sessions: dict[str, ProfilingSession] = {}
+        self._reserved = 0
+        self._next_id = 0
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def create(self, **params) -> ProfilingSession:
+        """Admit and build one session; raises AT_CAPACITY when full.
+
+        The capacity slot is reserved under the lock but the (slow)
+        session construction happens outside it, so concurrent creates
+        neither oversubscribe nor serialize.
+        """
+        with self._lock:
+            if len(self._sessions) + self._reserved >= self.max_sessions:
+                raise ServiceError(
+                    ErrorCode.AT_CAPACITY,
+                    f"session limit reached ({self.max_sessions})",
+                )
+            self._reserved += 1
+            self._next_id += 1
+            session_id = f"s{self._next_id}"
+        try:
+            session = ProfilingSession(session_id, clock=self._clock, **params)
+        except TypeError as exc:
+            raise ServiceError(ErrorCode.BAD_PARAMS, str(exc)) from exc
+        finally:
+            with self._lock:
+                self._reserved -= 1
+        with self._lock:
+            self._sessions[session_id] = session
+        return session
+
+    def get(self, session_id) -> ProfilingSession:
+        with self._lock:
+            session = self._sessions.get(session_id)
+        if session is None:
+            raise ServiceError(
+                ErrorCode.UNKNOWN_SESSION, f"no such session: {session_id!r}"
+            )
+        return session
+
+    def close(self, session_id) -> dict:
+        """Close and forget one session; returns its final summary."""
+        with self._lock:
+            session = self._sessions.pop(session_id, None)
+        if session is None:
+            raise ServiceError(
+                ErrorCode.UNKNOWN_SESSION, f"no such session: {session_id!r}"
+            )
+        return session.close()
+
+    def close_all(self) -> list[str]:
+        """Drain path: close every session, newest last."""
+        with self._lock:
+            sessions = list(self._sessions.items())
+            self._sessions.clear()
+        for _, session in sessions:
+            session.close()
+        return [sid for sid, _ in sessions]
+
+    def evict_idle(self, now: float | None = None) -> list[str]:
+        """Close sessions idle longer than the TTL; returns their ids."""
+        if self.idle_ttl_s <= 0:
+            return []
+        now = self._clock() if now is None else now
+        with self._lock:
+            stale = [
+                sid
+                for sid, s in self._sessions.items()
+                if s.idle_s(now) > self.idle_ttl_s
+            ]
+            evicted = [(sid, self._sessions.pop(sid)) for sid in stale]
+        for _, session in evicted:
+            session.close()
+        return [sid for sid, _ in evicted]
+
+    def list_sessions(self) -> list[dict]:
+        with self._lock:
+            sessions = list(self._sessions.values())
+        return [s.info() for s in sessions]

@@ -1,0 +1,131 @@
+"""The service wire protocol: one JSON object per line (UTF-8).
+
+Three frame shapes travel over a connection:
+
+Request (client → server)::
+
+    {"id": 1, "op": "create_session", "params": {...}}
+
+Response (server → client, exactly one per request)::
+
+    {"id": 1, "ok": true, "result": {...}}
+    {"id": 1, "ok": false, "error": {"code": "unknown_session",
+                                     "message": "..."}}
+
+Event (server → client, pushed after a ``subscribe``)::
+
+    {"event": "epoch", "session": "s1", "subscription": "sub1",
+     "seq": 4, "dropped": 0, "data": {...}}
+
+``id`` is caller-chosen and echoed verbatim; events carry no ``id``.
+A client distinguishes the two by key: frames with ``id`` answer a
+request, frames with ``event`` belong to a subscription.  Numpy
+scalars are coerced to plain ints/floats on encode so every frame is
+vanilla JSON.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = [
+    "ErrorCode",
+    "MAX_LINE_BYTES",
+    "ServiceError",
+    "decode_frame",
+    "encode_frame",
+    "error_response",
+    "event_frame",
+    "ok_response",
+]
+
+#: Upper bound on one frame's encoded size; longer lines are rejected.
+MAX_LINE_BYTES = 1 << 20
+
+
+class ErrorCode:
+    """Stable machine-readable error codes carried in error responses."""
+
+    BAD_REQUEST = "bad_request"      # unparseable / malformed frame
+    BAD_PARAMS = "bad_params"        # well-formed but invalid params
+    UNKNOWN_OP = "unknown_op"
+    UNKNOWN_SESSION = "unknown_session"
+    AT_CAPACITY = "at_capacity"      # admission limit reached
+    SHUTTING_DOWN = "shutting_down"  # server is draining
+    INTERNAL = "internal"
+
+
+class ServiceError(Exception):
+    """A protocol-level failure with a stable error code.
+
+    Raised server-side to produce an error response, and client-side
+    when a response carries ``ok: false``.
+    """
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+    def to_error(self) -> dict:
+        return {"code": self.code, "message": self.message}
+
+
+def _json_default(obj):
+    """Coerce numpy scalars/arrays so frames stay vanilla JSON."""
+    tolist = getattr(obj, "tolist", None)
+    if callable(tolist):
+        return tolist()
+    raise TypeError(f"not JSON-serializable: {type(obj).__name__}")
+
+
+def encode_frame(frame: dict) -> bytes:
+    """One frame → one newline-terminated UTF-8 JSON line."""
+    return (
+        json.dumps(frame, separators=(",", ":"), default=_json_default) + "\n"
+    ).encode("utf-8")
+
+
+def decode_frame(line: bytes | str) -> dict:
+    """One received line → frame dict; malformed input is BAD_REQUEST."""
+    if isinstance(line, bytes):
+        if len(line) > MAX_LINE_BYTES:
+            raise ServiceError(
+                ErrorCode.BAD_REQUEST, f"frame exceeds {MAX_LINE_BYTES} bytes"
+            )
+        line = line.decode("utf-8", errors="replace")
+    try:
+        frame = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ServiceError(ErrorCode.BAD_REQUEST, f"invalid JSON: {exc}") from exc
+    if not isinstance(frame, dict):
+        raise ServiceError(
+            ErrorCode.BAD_REQUEST, "frame must be a JSON object"
+        )
+    return frame
+
+
+def ok_response(request_id, result: dict) -> dict:
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def error_response(request_id, code: str, message: str) -> dict:
+    return {"id": request_id, "ok": False, "error": {"code": code, "message": message}}
+
+
+def event_frame(
+    event: str,
+    session_id: str,
+    subscription_id: str,
+    seq: int,
+    data: dict,
+    dropped: int = 0,
+) -> dict:
+    return {
+        "event": event,
+        "session": session_id,
+        "subscription": subscription_id,
+        "seq": seq,
+        "dropped": dropped,
+        "data": data,
+    }

@@ -1,0 +1,448 @@
+"""The asyncio JSON-lines profiling server.
+
+One connection carries any number of requests (handled sequentially
+per connection, concurrently across connections) plus pushed event
+frames for that connection's subscriptions.  Blocking work — session
+construction, epoch stepping, daemon reads — runs in a worker
+executor so the event loop stays responsive while many tenants step
+at once; per-session locks in :class:`ProfilingSession` keep each
+session single-stepped.
+
+Lifecycle: ``start()`` binds a TCP port or unix socket and installs
+SIGTERM/SIGINT handlers when the platform allows; ``drain()`` (also
+the signal path) stops accepting, rejects new work with
+``shutting_down``, lets in-flight requests finish, flushes subscriber
+queues, closes every session, and wakes ``serve_forever``.
+
+:class:`ServerThread` hosts a server in a daemon thread with its own
+event loop — the embedding used by the blocking client's tests and
+``examples/service_quickstart.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import signal
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from .manager import SessionManager
+from .protocol import (
+    MAX_LINE_BYTES,
+    ErrorCode,
+    ServiceError,
+    decode_frame,
+    encode_frame,
+    error_response,
+    ok_response,
+)
+
+__all__ = ["ServiceServer", "ServerThread"]
+
+
+class _Connection:
+    """Per-connection state: serialized writes + live subscriptions."""
+
+    def __init__(self, reader, writer):
+        self.reader = reader
+        self.writer = writer
+        self.write_lock = asyncio.Lock()
+        #: subscription_id -> (session, sub_queue, pump_task, wake_event)
+        self.subs: dict[str, tuple] = {}
+
+    async def send(self, frame: dict) -> None:
+        async with self.write_lock:
+            self.writer.write(encode_frame(frame))
+            await self.writer.drain()
+
+    async def flush_sub(self, subscription_id: str) -> None:
+        """Push whatever the subscription has buffered right now."""
+        entry = self.subs.get(subscription_id)
+        if entry is None:
+            return
+        session, sub, _, _ = entry
+        for frame in session.drain_subscriber(sub.subscription_id):
+            await self.send(frame)
+
+    def close(self) -> None:
+        for _, (session, sub, task, _) in list(self.subs.items()):
+            task.cancel()
+            session.unsubscribe(sub.subscription_id)
+        self.subs.clear()
+        try:
+            self.writer.close()
+        except Exception:
+            pass
+
+
+class ServiceServer:
+    """Hosts many concurrent profiling sessions over JSON lines."""
+
+    def __init__(
+        self,
+        manager: SessionManager | None = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        socket_path: str | None = None,
+        max_sessions: int = 16,
+        idle_ttl_s: float = 600.0,
+        step_workers: int | None = None,
+        reap_interval_s: float = 5.0,
+    ):
+        self.manager = manager or SessionManager(
+            max_sessions=max_sessions, idle_ttl_s=idle_ttl_s
+        )
+        self.host = host
+        self.port = port
+        self.socket_path = socket_path
+        self.step_workers = step_workers
+        self.reap_interval_s = float(reap_interval_s)
+        self.address: tuple[str, int] | str | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._connections: set[_Connection] = set()
+        self._reaper: asyncio.Task | None = None
+        self._inflight = 0
+        self._draining = False
+        self._stopped: asyncio.Event | None = None
+        self._ops = {
+            "ping": self._op_ping,
+            "server_info": self._op_server_info,
+            "list_sessions": self._op_list_sessions,
+            "create_session": self._op_create_session,
+            "step": self._op_step,
+            "stats": self._op_stats,
+            "numa_maps": self._op_numa_maps,
+            "reconfigure": self._op_reconfigure,
+            "subscribe": self._op_subscribe,
+            "unsubscribe": self._op_unsubscribe,
+            "close_session": self._op_close_session,
+        }
+
+    # ------------------------------------------------------------- lifecycle
+
+    async def start(self) -> "ServiceServer":
+        """Bind the socket, start the reaper, install signal handlers."""
+        self._loop = asyncio.get_running_loop()
+        self._stopped = asyncio.Event()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.step_workers,
+            thread_name_prefix="repro-service-step",
+        )
+        if self.socket_path:
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=self.socket_path, limit=MAX_LINE_BYTES
+            )
+            self.address = self.socket_path
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.host, self.port, limit=MAX_LINE_BYTES
+            )
+            self.address = self._server.sockets[0].getsockname()[:2]
+        if self.reap_interval_s > 0:
+            self._reaper = asyncio.create_task(self._reap_loop())
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                self._loop.add_signal_handler(
+                    sig, lambda: asyncio.ensure_future(self.drain())
+                )
+            except (NotImplementedError, RuntimeError, ValueError):
+                # Non-main thread or platform without signal support:
+                # drain() stays reachable programmatically.
+                break
+        return self
+
+    async def serve_forever(self) -> None:
+        """Block until :meth:`drain` completes (signal or explicit)."""
+        if self._stopped is None:
+            raise RuntimeError("call start() first")
+        await self._stopped.wait()
+
+    async def drain(self, timeout_s: float = 30.0) -> None:
+        """Graceful shutdown: finish in-flight work, flush, close all."""
+        if self._draining:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        deadline = self._loop.time() + timeout_s
+        while self._inflight > 0 and self._loop.time() < deadline:
+            await asyncio.sleep(0.02)
+        # Flush whatever subscribers still have buffered, then detach.
+        for conn in list(self._connections):
+            for sub_id in list(conn.subs):
+                try:
+                    await conn.flush_sub(sub_id)
+                except (ConnectionError, RuntimeError):
+                    break
+        if self._reaper is not None:
+            self._reaper.cancel()
+        self.manager.close_all()
+        for conn in list(self._connections):
+            conn.close()
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+        self._stopped.set()
+
+    async def _reap_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.reap_interval_s)
+            evicted = await self._run_blocking(self.manager.evict_idle)
+            for _ in evicted:
+                pass  # evictions are surfaced through list_sessions
+
+    async def _run_blocking(self, fn, *args, **kwargs):
+        return await self._loop.run_in_executor(
+            self._executor, functools.partial(fn, *args, **kwargs)
+        )
+
+    # ----------------------------------------------------------- connections
+
+    async def _handle_connection(self, reader, writer) -> None:
+        conn = _Connection(reader, writer)
+        self._connections.add(conn)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    await conn.send(
+                        error_response(
+                            None, ErrorCode.BAD_REQUEST, "frame too long"
+                        )
+                    )
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                await self._handle_line(conn, line)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self._connections.discard(conn)
+            conn.close()
+
+    async def _handle_line(self, conn: _Connection, line: bytes) -> None:
+        request_id = None
+        self._inflight += 1
+        try:
+            frame = decode_frame(line)
+            request_id = frame.get("id")
+            op = frame.get("op")
+            handler = self._ops.get(op)
+            if handler is None:
+                raise ServiceError(ErrorCode.UNKNOWN_OP, f"unknown op: {op!r}")
+            params = frame.get("params") or {}
+            if not isinstance(params, dict):
+                raise ServiceError(
+                    ErrorCode.BAD_REQUEST, "params must be a JSON object"
+                )
+            result = await handler(conn, params)
+            response = ok_response(request_id, result)
+        except ServiceError as exc:
+            response = error_response(request_id, exc.code, exc.message)
+        except Exception as exc:  # noqa: BLE001 — survive bad tenants
+            response = error_response(
+                request_id, ErrorCode.INTERNAL, f"{type(exc).__name__}: {exc}"
+            )
+        finally:
+            self._inflight -= 1
+        try:
+            await conn.send(response)
+        except ConnectionError:
+            pass
+
+    # ------------------------------------------------------------------- ops
+
+    @staticmethod
+    def _session_id(params: dict):
+        session_id = params.get("session")
+        if session_id is None:
+            raise ServiceError(ErrorCode.BAD_PARAMS, "missing 'session' param")
+        return session_id
+
+    async def _op_ping(self, conn, params) -> dict:
+        return {"pong": True}
+
+    async def _op_server_info(self, conn, params) -> dict:
+        address = self.address
+        return {
+            "sessions": len(self.manager),
+            "max_sessions": self.manager.max_sessions,
+            "idle_ttl_s": self.manager.idle_ttl_s,
+            "draining": self._draining,
+            "address": list(address) if isinstance(address, tuple) else address,
+        }
+
+    async def _op_list_sessions(self, conn, params) -> dict:
+        return {"sessions": self.manager.list_sessions()}
+
+    async def _op_create_session(self, conn, params) -> dict:
+        if self._draining:
+            raise ServiceError(ErrorCode.SHUTTING_DOWN, "server is draining")
+        session = await self._run_blocking(self.manager.create, **params)
+        return session.info()
+
+    async def _op_step(self, conn, params) -> dict:
+        if self._draining:
+            raise ServiceError(ErrorCode.SHUTTING_DOWN, "server is draining")
+        session = self.manager.get(self._session_id(params))
+        epochs = params.get("epochs", 1)
+        if not isinstance(epochs, int):
+            raise ServiceError(ErrorCode.BAD_PARAMS, "epochs must be an integer")
+        return await self._run_blocking(session.step, epochs)
+
+    async def _op_stats(self, conn, params) -> dict:
+        session = self.manager.get(self._session_id(params))
+        session.touch()
+        return await self._run_blocking(session.stats)
+
+    async def _op_numa_maps(self, conn, params) -> dict:
+        session = self.manager.get(self._session_id(params))
+        session.touch()
+        text = await self._run_blocking(session.numa_maps, params.get("pids"))
+        return {"session": session.session_id, "numa_maps": text}
+
+    async def _op_reconfigure(self, conn, params) -> dict:
+        session = self.manager.get(self._session_id(params))
+        return await self._run_blocking(
+            session.reconfigure, params.get("changes")
+        )
+
+    async def _op_subscribe(self, conn, params) -> dict:
+        session = self.manager.get(self._session_id(params))
+        max_queue = params.get("max_queue", 64)
+        if not isinstance(max_queue, int):
+            raise ServiceError(ErrorCode.BAD_PARAMS, "max_queue must be an integer")
+        max_rate_hz = params.get("max_rate_hz")
+        if max_rate_hz is not None and not isinstance(max_rate_hz, (int, float)):
+            raise ServiceError(ErrorCode.BAD_PARAMS, "max_rate_hz must be a number")
+        wake = asyncio.Event()
+        loop = self._loop
+        sub = session.subscribe(
+            max_queue=max_queue,
+            notify=lambda: loop.call_soon_threadsafe(wake.set),
+            max_rate_hz=max_rate_hz,
+        )
+        task = asyncio.create_task(self._pump(conn, session, sub, wake))
+        conn.subs[sub.subscription_id] = (session, sub, task, wake)
+        session.touch()
+        return {
+            "session": session.session_id,
+            "subscription": sub.subscription_id,
+            "max_queue": sub.max_queue,
+        }
+
+    async def _op_unsubscribe(self, conn, params) -> dict:
+        sub_id = params.get("subscription")
+        entry = conn.subs.pop(sub_id, None)
+        if entry is None:
+            raise ServiceError(
+                ErrorCode.BAD_PARAMS, f"unknown subscription: {sub_id!r}"
+            )
+        session, sub, task, _ = entry
+        task.cancel()
+        session.unsubscribe(sub.subscription_id)
+        return {"subscription": sub_id, "unsubscribed": True}
+
+    async def _op_close_session(self, conn, params) -> dict:
+        session_id = self._session_id(params)
+        summary = await self._run_blocking(self.manager.close, session_id)
+        return {"session": session_id, "result": summary}
+
+    async def _pump(self, conn: _Connection, session, sub, wake) -> None:
+        """Forward one subscription's frames to its connection.
+
+        A slow connection blocks only here — the session's stepping
+        path keeps pushing into the bounded queue (dropping oldest),
+        never waiting on this writer.
+        """
+        try:
+            while True:
+                await wake.wait()
+                wake.clear()
+                while True:
+                    frames = session.drain_subscriber(sub.subscription_id)
+                    if not frames:
+                        break
+                    for frame in frames:
+                        await conn.send(frame)
+                        if sub.min_interval_s:
+                            # Throttled delivery: while we sleep, the
+                            # session keeps pushing into the bounded
+                            # queue and sheds the oldest frames.
+                            await asyncio.sleep(sub.min_interval_s)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            session.unsubscribe(sub.subscription_id)
+
+
+class ServerThread:
+    """A ServiceServer on a dedicated daemon thread + event loop.
+
+    The embedding for synchronous programs (tests, examples, notebook
+    use): ``with ServerThread(...) as srv`` yields a running server
+    whose ``address`` a blocking :class:`ServiceClient` can dial.
+    """
+
+    def __init__(self, **server_kwargs):
+        self._kwargs = server_kwargs
+        self._ready = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._error: BaseException | None = None
+        self.server: ServiceServer | None = None
+        self.address: tuple[str, int] | str | None = None
+
+    def start(self, timeout_s: float = 15.0):
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout_s):
+            raise TimeoutError("service thread did not come up")
+        if self._error is not None:
+            raise self._error
+        return self.address
+
+    def stop(self, timeout_s: float = 15.0) -> None:
+        if self._loop is None or self._thread is None:
+            return
+        if self._thread.is_alive():
+            future = asyncio.run_coroutine_threadsafe(
+                self.server.drain(), self._loop
+            )
+            try:
+                future.result(timeout_s)
+            except Exception:
+                pass
+        self._thread.join(timeout_s)
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        try:
+            self.server = ServiceServer(**self._kwargs)
+            await self.server.start()
+        except BaseException as exc:  # surface bind errors to start()
+            self._error = exc
+            self._ready.set()
+            return
+        self._loop = asyncio.get_running_loop()
+        self.address = self.server.address
+        self._ready.set()
+        await self.server.serve_forever()
+
+    def __enter__(self) -> "ServerThread":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

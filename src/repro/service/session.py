@@ -1,0 +1,307 @@
+"""One profiling session: a live simulator + daemon + subscribers.
+
+A session is the service-side unit of tenancy.  It owns a
+:class:`TieredSimulator` driven incrementally through the epoch-step
+hook (``start()`` once, ``step(n)`` on demand), the
+:class:`TMPDaemon` front-end over that simulator's profiler (for
+``stats``/``numa_maps``/``reconfigure``), per-step timing records
+(reusing the runner's :class:`RunnerMetrics`), and any number of
+bounded subscriber queues that receive one frame per scored epoch.
+
+Thread model: the server executes stepping and daemon reads in a
+worker executor so the event loop stays responsive, while subscriber
+drains happen on the loop.  Two locks keep that safe — ``_sim_lock``
+serializes simulator/daemon access (one step at a time per session),
+``_sub_lock`` guards the subscriber table so frames can be drained
+*while* a step is still producing them.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+from ..core.config import TMPConfig
+from ..core.daemon import TMPDaemon
+from ..memsim.machine import MachineConfig
+from ..runner.metrics import RunnerMetrics
+from ..tiering.policies import POLICIES
+from ..tiering.simulator import TieredSimulator
+from ..workloads import WORKLOAD_NAMES, make_workload
+from .protocol import ErrorCode, ServiceError
+from .telemetry import epoch_metrics_to_dict, simulation_result_to_dict
+
+__all__ = ["ProfilingSession", "SubscriberQueue", "DEFAULT_MAX_QUEUE"]
+
+#: Default per-subscriber frame buffer (drop-oldest beyond this).
+DEFAULT_MAX_QUEUE = 64
+
+
+class SubscriberQueue:
+    """A bounded per-subscriber buffer of event frames.
+
+    ``push`` never blocks: when the buffer is full the *oldest* frame
+    is discarded and the cumulative ``dropped`` counter advances, so a
+    slow subscriber costs itself history but never stalls the stepping
+    path.  Frames carry ``seq`` (gap = drops) and the running
+    ``dropped`` total so consumers can detect loss.
+    """
+
+    def __init__(
+        self,
+        subscription_id: str,
+        session_id: str,
+        max_queue: int = DEFAULT_MAX_QUEUE,
+        notify=None,
+        max_rate_hz: float | None = None,
+    ):
+        if max_queue < 1:
+            raise ServiceError(ErrorCode.BAD_PARAMS, "max_queue must be >= 1")
+        if max_rate_hz is not None and max_rate_hz <= 0:
+            raise ServiceError(ErrorCode.BAD_PARAMS, "max_rate_hz must be > 0")
+        self.subscription_id = subscription_id
+        self.session_id = session_id
+        self.max_queue = int(max_queue)
+        self.notify = notify
+        #: Delivery throttle (frames/s) honoured by the server's pump;
+        #: a throttled subscriber falls behind into drop-oldest rather
+        #: than slowing the session.
+        self.min_interval_s = 1.0 / max_rate_hz if max_rate_hz else 0.0
+        self.seq = 0
+        self.dropped = 0
+        self._frames: deque = deque()
+
+    def push(self, event: str, data: dict) -> dict:
+        """Append one frame, dropping the oldest when full."""
+        if len(self._frames) >= self.max_queue:
+            self._frames.popleft()
+            self.dropped += 1
+        frame = {
+            "event": event,
+            "session": self.session_id,
+            "subscription": self.subscription_id,
+            "seq": self.seq,
+            "dropped": self.dropped,
+            "data": data,
+        }
+        self.seq += 1
+        self._frames.append(frame)
+        return frame
+
+    def drain(self) -> list[dict]:
+        """Remove and return every buffered frame (oldest first)."""
+        out = list(self._frames)
+        self._frames.clear()
+        return out
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+
+class ProfilingSession:
+    """One tenant: simulator, daemon, timings, and subscribers."""
+
+    def __init__(
+        self,
+        session_id: str,
+        *,
+        workload: str,
+        policy: str = "history",
+        tier1_ratio: float = 1 / 8,
+        rank_source: str = "combined",
+        seed: int = 0,
+        epoch_slices: int = 1,
+        ibs_period: int = 16,
+        init: bool = True,
+        workload_kwargs: dict | None = None,
+        policy_kwargs: dict | None = None,
+        tmp: dict | None = None,
+        clock=time.monotonic,
+    ):
+        if workload not in WORKLOAD_NAMES:
+            raise ServiceError(
+                ErrorCode.BAD_PARAMS,
+                f"unknown workload {workload!r}; available: "
+                f"{', '.join(WORKLOAD_NAMES)}",
+            )
+        if policy not in POLICIES:
+            raise ServiceError(
+                ErrorCode.BAD_PARAMS,
+                f"unknown policy {policy!r}; available: {', '.join(POLICIES)}",
+            )
+        self.session_id = session_id
+        self._clock = clock
+        self.created_s = clock()
+        self.last_active_s = self.created_s
+        self.closed = False
+        self.metrics = RunnerMetrics(jobs=1)
+        self._sim_lock = threading.Lock()
+        self._sub_lock = threading.Lock()
+        self._subscribers: dict[str, SubscriberQueue] = {}
+        self._next_sub = 0
+
+        try:
+            wl = make_workload(workload, **(workload_kwargs or {}))
+            pol = POLICIES[policy](**(policy_kwargs or {}))
+            tmp_config = TMPConfig(**tmp) if tmp else None
+            self.sim = TieredSimulator(
+                wl,
+                pol,
+                tier1_ratio=tier1_ratio,
+                rank_source=rank_source,
+                machine_config=MachineConfig.scaled(ibs_period=ibs_period),
+                tmp_config=tmp_config,
+                seed=seed,
+                epoch_slices=epoch_slices,
+            )
+        except ServiceError:
+            raise
+        except (TypeError, ValueError, AttributeError) as exc:
+            raise ServiceError(ErrorCode.BAD_PARAMS, str(exc)) from exc
+        self.daemon = TMPDaemon(self.sim.profiler)
+        self.daemon.add_workload(wl)
+        self.sim.add_epoch_hook(self._on_epoch)
+        self.sim.start(init=init)
+
+    # ------------------------------------------------------------- lifecycle
+
+    def touch(self) -> None:
+        self.last_active_s = self._clock()
+
+    def idle_s(self, now: float | None = None) -> float:
+        return (self._clock() if now is None else now) - self.last_active_s
+
+    def info(self) -> dict:
+        """Static configuration plus progress counters."""
+        return {
+            "session": self.session_id,
+            "workload": self.sim.workload.name,
+            "policy": self.sim.policy.name,
+            "rank_source": self.sim.rank_source.value,
+            "tier1_ratio": float(self.sim.tier1_ratio),
+            "tier1_capacity": int(self.sim.tier1_capacity),
+            "seed": self.sim.seed,
+            "epochs_run": self.sim.epochs_run,
+            "subscribers": len(self._subscribers),
+            "idle_s": self.idle_s(),
+        }
+
+    def close(self) -> dict:
+        """Finalize: detach subscribers, return the run summary."""
+        with self._sim_lock:
+            self.closed = True
+            summary = simulation_result_to_dict(self.sim.result)
+        with self._sub_lock:
+            self._subscribers.clear()
+        return summary
+
+    # -------------------------------------------------------------- stepping
+
+    def step(self, epochs: int = 1) -> dict:
+        """Advance ``epochs`` scored epochs; returns their telemetry.
+
+        Runs under the simulator lock (one step at a time per session)
+        and records a ``step`` timing event in :attr:`metrics`.
+        Subscriber frames are pushed as each epoch completes, so a
+        subscriber sees epoch ``k`` while ``k+1`` is still executing.
+        """
+        if epochs < 1:
+            raise ServiceError(ErrorCode.BAD_PARAMS, "epochs must be >= 1")
+        with self._sim_lock:
+            if self.closed:
+                raise ServiceError(
+                    ErrorCode.UNKNOWN_SESSION, f"session {self.session_id} is closed"
+                )
+            t0 = time.perf_counter()
+            stepped = self.sim.step(epochs)
+            event = self.metrics.add(
+                "step",
+                self.session_id,
+                time.perf_counter() - t0,
+                items=len(stepped),
+            )
+            self.touch()
+            return {
+                "session": self.session_id,
+                "epochs": [epoch_metrics_to_dict(m) for m in stepped],
+                "epochs_run": self.sim.epochs_run,
+                "step_seconds": event.seconds,
+            }
+
+    def _on_epoch(self, metrics) -> None:
+        """Epoch-step hook: fan one frame out to every subscriber."""
+        data = epoch_metrics_to_dict(metrics)
+        with self._sub_lock:
+            subs = list(self._subscribers.values())
+        for sub in subs:
+            with self._sub_lock:
+                sub.push("epoch", data)
+            if sub.notify is not None:
+                sub.notify()
+
+    # ------------------------------------------------------------- reporting
+
+    def stats(self) -> dict:
+        """Operator statistics: daemon summary + session + timings."""
+        with self._sim_lock:
+            return {
+                "session": self.info(),
+                "daemon": self.daemon.statistics(),
+                "result": simulation_result_to_dict(self.sim.result),
+                "timings": self.metrics.summary()["stages"],
+            }
+
+    def numa_maps(self, pids=None) -> str:
+        with self._sim_lock:
+            try:
+                return self.daemon.numa_maps(pids)
+            except KeyError as exc:
+                raise ServiceError(
+                    ErrorCode.BAD_PARAMS, f"unknown pid {exc}"
+                ) from exc
+
+    def reconfigure(self, changes: dict) -> dict:
+        """Apply live TMP config changes through the daemon."""
+        if not isinstance(changes, dict) or not changes:
+            raise ServiceError(
+                ErrorCode.BAD_PARAMS, "reconfigure needs a non-empty changes object"
+            )
+        with self._sim_lock:
+            try:
+                self.daemon.reconfigure(**changes)
+            except (AttributeError, ValueError, TypeError) as exc:
+                raise ServiceError(ErrorCode.BAD_PARAMS, str(exc)) from exc
+            self.touch()
+            return {"session": self.session_id, "applied": sorted(changes)}
+
+    # ---------------------------------------------------------- subscribers
+
+    def subscribe(
+        self,
+        max_queue: int = DEFAULT_MAX_QUEUE,
+        notify=None,
+        max_rate_hz: float | None = None,
+    ) -> SubscriberQueue:
+        """Attach a bounded drop-oldest subscriber queue."""
+        with self._sub_lock:
+            self._next_sub += 1
+            sub = SubscriberQueue(
+                f"{self.session_id}.sub{self._next_sub}",
+                self.session_id,
+                max_queue=max_queue,
+                notify=notify,
+                max_rate_hz=max_rate_hz,
+            )
+            self._subscribers[sub.subscription_id] = sub
+            return sub
+
+    def unsubscribe(self, subscription_id: str) -> bool:
+        with self._sub_lock:
+            return self._subscribers.pop(subscription_id, None) is not None
+
+    def drain_subscriber(self, subscription_id: str) -> list[dict]:
+        """Pop buffered frames for one subscription (loop-side path)."""
+        with self._sub_lock:
+            sub = self._subscribers.get(subscription_id)
+            return sub.drain() if sub is not None else []

@@ -1,0 +1,54 @@
+"""Converters from simulator dataclasses to JSON-safe telemetry dicts.
+
+The per-epoch dict is the payload of every ``subscribe`` event frame
+and of the ``step`` response; the result dict summarizes a finished
+session on ``close_session``.  Shapes are part of the wire protocol —
+see ``docs/service.md`` — so changes here are protocol changes.
+"""
+
+from __future__ import annotations
+
+from ..tiering.simulator import EpochMetrics, SimulationResult
+
+__all__ = ["epoch_metrics_to_dict", "simulation_result_to_dict"]
+
+
+def epoch_metrics_to_dict(m: EpochMetrics) -> dict:
+    """Flatten one :class:`EpochMetrics` (incl. latency breakdown)."""
+    return {
+        "epoch": int(m.epoch),
+        "accesses": int(m.accesses),
+        "mem_accesses": int(m.mem_accesses),
+        "hitrate": float(m.hitrate),
+        "promoted": int(m.promoted),
+        "demoted": int(m.demoted),
+        "profiler_overhead_s": float(m.profiler_overhead_s),
+        "runtime_s": float(m.runtime_s),
+        "latency": {
+            "base_s": float(m.latency.base_s),
+            "slow_fault_s": float(m.latency.slow_fault_s),
+            "hot_slow_extra_s": float(m.latency.hot_slow_extra_s),
+            "migration_s": float(m.latency.migration_s),
+            "total_s": float(m.latency.total_s),
+        },
+    }
+
+
+def simulation_result_to_dict(
+    res: SimulationResult, *, include_epochs: bool = False
+) -> dict:
+    """Summarize a (possibly still-running) simulation result."""
+    out = {
+        "workload": res.workload,
+        "policy": res.policy,
+        "rank_source": res.rank_source,
+        "tier1_ratio": float(res.tier1_ratio),
+        "tier1_capacity": int(res.tier1_capacity),
+        "epochs_run": len(res.epochs),
+        "mean_hitrate": float(res.mean_hitrate),
+        "total_runtime_s": float(res.total_runtime_s),
+        "total_migrations": int(res.total_migrations),
+    }
+    if include_epochs:
+        out["epochs"] = [epoch_metrics_to_dict(e) for e in res.epochs]
+    return out

@@ -89,7 +89,18 @@ class SimulationResult:
 
 
 class TieredSimulator:
-    """Runs one (workload, policy, rank source, tier ratio) experiment."""
+    """Runs one (workload, policy, rank source, tier ratio) experiment.
+
+    Two driving styles share one code path:
+
+    * batch — :meth:`run` executes N epochs and returns the result;
+    * incremental — :meth:`start` once, then :meth:`step` any number of
+      times (the ``repro.service`` sessions drive it this way, streaming
+      each :class:`EpochMetrics` to subscribers as it is produced).
+
+    Both styles draw from the same seeded RNG in the same order, so a
+    stepped run is bit-identical to ``run()`` with the same seed.
+    """
 
     def __init__(
         self,
@@ -128,27 +139,85 @@ class TieredSimulator:
         self.mover = PageMover(self.tiers, self.machine)
         self._prev_profile = None
         self._prev_counts_len = 0
+        self._rng: np.random.Generator | None = None
+        self._result: SimulationResult | None = None
+        self._next_epoch = 0
+        self._epoch_hooks: list = []
 
-    def run(self, epochs: int = 10, init: bool = True) -> SimulationResult:
-        """Execute ``epochs`` epochs; return the scored result.
+    # -------------------------------------------------------------- stepping
+
+    @property
+    def result(self) -> SimulationResult | None:
+        """The accumulating result of a started run (None before start)."""
+        return self._result
+
+    @property
+    def epochs_run(self) -> int:
+        """How many scored epochs have executed since :meth:`start`."""
+        return self._next_epoch
+
+    def add_epoch_hook(self, hook) -> None:
+        """Register ``hook(metrics)`` to fire after every scored epoch.
+
+        Hooks fire inside :meth:`step`, one call per epoch, in
+        registration order — this is the streaming-telemetry tap the
+        service's ``subscribe`` frames come from.
+        """
+        self._epoch_hooks.append(hook)
+
+    def start(self, init: bool = True) -> SimulationResult:
+        """Arm an incremental run: seed the RNG, optionally populate.
 
         ``init`` first runs the workload's population stream (every
         page written once, in address order) so first-touch placement
         is hotness-blind, as on a real service.  The init phase is not
         scored.
         """
-        rng = np.random.default_rng(self.seed)
-        result = SimulationResult(
+        if self._result is not None:
+            raise RuntimeError("simulation already started")
+        self._rng = np.random.default_rng(self.seed)
+        self._result = SimulationResult(
             workload=self.workload.name,
             policy=self.policy.name,
             rank_source=self.rank_source.value,
             tier1_ratio=self.tier1_ratio,
             tier1_capacity=self.tier1_capacity,
         )
+        self._next_epoch = 0
         if init:
-            self._run_init(rng)
-        for e in range(epochs):
-            result.epochs.append(self._run_epoch(e, rng))
+            self._run_init(self._rng)
+        return self._result
+
+    def step(self, epochs: int = 1) -> list[EpochMetrics]:
+        """Advance ``epochs`` scored epochs; return their metrics.
+
+        Requires a prior :meth:`start`.  Epoch numbering continues from
+        the last step, and the per-epoch hooks fire as each epoch
+        completes.
+        """
+        if self._result is None or self._rng is None:
+            raise RuntimeError("call start() before step()")
+        if epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {epochs}")
+        out: list[EpochMetrics] = []
+        for _ in range(epochs):
+            metrics = self._run_epoch(self._next_epoch, self._rng)
+            self._result.epochs.append(metrics)
+            self._next_epoch += 1
+            out.append(metrics)
+            for hook in self._epoch_hooks:
+                hook(metrics)
+        return out
+
+    def run(self, epochs: int = 10, init: bool = True) -> SimulationResult:
+        """Execute ``epochs`` epochs; return the scored result.
+
+        Equivalent to :meth:`start` followed by one :meth:`step` — the
+        batch entry point the one-shot commands use.
+        """
+        result = self.start(init=init)
+        if epochs > 0:
+            self.step(epochs)
         return result
 
     def _run_init(self, rng: np.random.Generator) -> None:

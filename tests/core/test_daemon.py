@@ -50,6 +50,43 @@ class TestRegistration:
         assert "svc" not in d.programs
         d.remove_program("ghost")  # idempotent
 
+    def test_remove_program_unregisters_pids(self):
+        m, prof, d = _setup()
+        d.add_program("svc", [1, 2])
+        d.remove_program("svc")
+        assert prof.registered_pids == []
+
+    def test_remove_program_stops_profiling_and_overhead(self):
+        m, prof, d = _setup()
+        vma = m.mmap(1, 32)
+        d.add_program("svc", [1])
+        b = AccessBatch.from_pages(vma.vpns, pid=1)
+        prof.observe_batch(b, m.run_batch(b))
+        d.poll_epoch()
+        assert prof.filter.tracked == [1]
+        scans_before = prof.abit.stats.scans
+
+        d.remove_program("svc")
+        # The filter forgets the PID immediately, not at the next
+        # evaluation interval.
+        assert prof.filter.tracked == []
+        b = AccessBatch.from_pages(vma.vpns, pid=1)
+        prof.observe_batch(b, m.run_batch(b))
+        rep = d.poll_epoch()
+        # With no tracked or registered PIDs the A-bit walk covers no
+        # process: the removed program is no longer profiled.
+        assert rep.abit_pages_found == 0
+        assert rep.tracked_pids == []
+        assert prof.abit.stats.scans == scans_before + 1
+
+    def test_remove_program_keeps_shared_pids(self):
+        m, prof, d = _setup()
+        d.add_program("a", [1, 2])
+        d.add_program("b", [2, 3])
+        d.remove_program("a")
+        # PID 2 is still owned by program b and must stay registered.
+        assert prof.registered_pids == [2, 3]
+
 
 class TestPollingAndConfig:
     def test_poll_epoch(self):
@@ -70,6 +107,26 @@ class TestPollingAndConfig:
         _, _, d = _setup()
         with pytest.raises(AttributeError):
             d.reconfigure(bogus=1)
+
+    def test_reconfigure_unknown_key_is_atomic(self):
+        _, prof, d = _setup()
+        before = prof.config.min_cpu_share
+        with pytest.raises(AttributeError):
+            d.reconfigure(min_cpu_share=0.42, bogus=1)
+        # Nothing is applied when any key is rejected.
+        assert prof.config.min_cpu_share == before
+
+    def test_reconfigure_routes_trace_sample_period(self):
+        m, prof, d = _setup()
+        d.reconfigure(trace_sample_period=5)
+        # The change reaches the live sampler, not just the config.
+        assert m.ibs.period == 5
+
+    def test_reconfigure_mixes_config_and_driver_keys(self):
+        m, prof, d = _setup()
+        d.reconfigure(trace_sample_period=7, min_mem_share=0.25)
+        assert m.ibs.period == 7
+        assert prof.config.min_mem_share == 0.25
 
     def test_trace_source_frozen(self):
         _, prof, d = _setup()

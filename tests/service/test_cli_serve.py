@@ -1,0 +1,62 @@
+"""End-to-end smoke test: `repro serve` as a real process + SIGTERM."""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.service import ServiceClient
+
+STARTUP_TIMEOUT_S = 30
+
+
+@pytest.fixture()
+def serve_process():
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--max-sessions", "2"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        env=env,
+        text=True,
+    )
+    try:
+        yield proc
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+        proc.wait(STARTUP_TIMEOUT_S)
+
+
+def _wait_for_address(proc) -> tuple:
+    deadline = time.monotonic() + STARTUP_TIMEOUT_S
+    line = proc.stdout.readline()
+    assert line, "server exited before announcing its address"
+    assert time.monotonic() < deadline
+    # "repro service listening on 127.0.0.1:NNNNN (...)"
+    where = line.split(" listening on ")[1].split()[0]
+    host, port = where.rsplit(":", 1)
+    return host, int(port)
+
+
+class TestServeCommand:
+    def test_serve_answers_and_drains_on_sigterm(self, serve_process):
+        address = _wait_for_address(serve_process)
+        with ServiceClient(address=address, timeout_s=STARTUP_TIMEOUT_S) as client:
+            assert client.ping() == {"pong": True}
+            sid = client.create_session(
+                "gups",
+                workload_kwargs={"footprint_pages": 512, "accesses_per_epoch": 2000},
+            )["session"]
+            assert client.step(sid, epochs=1)["epochs_run"] == 1
+
+            serve_process.send_signal(signal.SIGTERM)
+            assert serve_process.wait(STARTUP_TIMEOUT_S) == 0
+        out = serve_process.stdout.read()
+        assert "drained" in out

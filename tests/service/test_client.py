@@ -1,0 +1,94 @@
+"""Tests for the blocking ServiceClient against a thread-hosted server."""
+
+import os
+
+import pytest
+
+from repro.service import ServerThread, ServiceClient, ServiceError
+
+SMALL = {"footprint_pages": 512, "accesses_per_epoch": 2000}
+
+
+@pytest.fixture()
+def server():
+    with ServerThread(max_sessions=4, reap_interval_s=0) as srv:
+        yield srv
+
+
+def _create(client, **kw):
+    kw.setdefault("workload", "gups")
+    kw.setdefault("workload_kwargs", dict(SMALL))
+    return client.create_session(**kw)
+
+
+class TestBlockingClient:
+    def test_full_session_flow(self, server):
+        with ServiceClient(address=server.address, timeout_s=30) as client:
+            assert client.ping() == {"pong": True}
+            info = _create(client, seed=5)
+            sid = info["session"]
+            assert info["workload"] == "gups"
+            assert [s["session"] for s in client.list_sessions()] == [sid]
+
+            sub = client.subscribe(sid, max_queue=16)
+            assert sub["session"] == sid
+            stepped = client.step(sid, epochs=3)
+            assert [e["epoch"] for e in stepped["epochs"]] == [0, 1, 2]
+
+            events = list(client.iter_events(3, timeout_s=15))
+            assert [e["data"]["epoch"] for e in events] == [0, 1, 2]
+            assert all(e["session"] == sid for e in events)
+
+            stats = client.stats(sid)
+            assert stats["daemon"]["programs"] == ["gups"]
+            assert "# pid" in client.numa_maps(sid)
+            client.reconfigure(sid, trace_sample_period=8)
+            summary = client.close_session(sid)["result"]
+            assert summary["epochs_run"] == 3
+
+    def test_events_interleave_with_responses(self, server):
+        with ServiceClient(address=server.address, timeout_s=30) as client:
+            sid = _create(client)["session"]
+            client.subscribe(sid, max_queue=8)
+            client.step(sid, epochs=2)
+            # The stats response travels after/between pushed frames;
+            # the client must still pair it to its request...
+            assert client.stats(sid)["result"]["epochs_run"] == 2
+            # ...while keeping the event frames available afterwards.
+            events = list(client.iter_events(2, timeout_s=15))
+            assert [e["data"]["epoch"] for e in events] == [0, 1]
+
+    def test_error_mapping(self, server):
+        with ServiceClient(address=server.address, timeout_s=30) as client:
+            with pytest.raises(ServiceError) as exc:
+                client.step("s404")
+            assert exc.value.code == "unknown_session"
+            with pytest.raises(ServiceError) as exc:
+                client.request("frobnicate")
+            assert exc.value.code == "unknown_op"
+
+    def test_two_clients_two_sessions(self, server):
+        with ServiceClient(address=server.address, timeout_s=30) as a, \
+                ServiceClient(address=server.address, timeout_s=30) as b:
+            sa = _create(a, seed=1)["session"]
+            sb = _create(b, workload="xsbench", seed=2)["session"]
+            assert sa != sb
+            ra = a.step(sa, epochs=2)
+            rb = b.step(sb, epochs=2)
+            assert ra["epochs_run"] == rb["epochs_run"] == 2
+            assert {s["session"] for s in a.list_sessions()} == {sa, sb}
+
+    def test_bad_address_arguments(self):
+        with pytest.raises(ValueError):
+            ServiceClient()
+
+
+class TestUnixSocket:
+    def test_unix_socket_roundtrip(self, tmp_path):
+        path = str(tmp_path / "repro.sock")
+        with ServerThread(socket_path=path, reap_interval_s=0) as srv:
+            assert srv.address == path
+            assert os.path.exists(path)
+            with ServiceClient(socket_path=path, timeout_s=30) as client:
+                sid = _create(client)["session"]
+                assert client.step(sid)["epochs_run"] == 1

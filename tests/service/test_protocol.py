@@ -1,0 +1,72 @@
+"""Unit tests for the JSON-lines wire format."""
+
+import numpy as np
+import pytest
+
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    ErrorCode,
+    ServiceError,
+    decode_frame,
+    encode_frame,
+    error_response,
+    event_frame,
+    ok_response,
+)
+
+
+class TestEncode:
+    def test_roundtrip(self):
+        frame = {"id": 7, "op": "step", "params": {"session": "s1", "epochs": 2}}
+        assert decode_frame(encode_frame(frame)) == frame
+
+    def test_one_line_per_frame(self):
+        data = encode_frame({"id": 1, "op": "ping"})
+        assert data.endswith(b"\n")
+        assert data.count(b"\n") == 1
+
+    def test_numpy_scalars_coerced(self):
+        frame = {"hit": np.float64(0.5), "n": np.int64(3), "arr": np.arange(2)}
+        decoded = decode_frame(encode_frame(frame))
+        assert decoded == {"hit": 0.5, "n": 3, "arr": [0, 1]}
+
+    def test_unserializable_rejected(self):
+        with pytest.raises(TypeError):
+            encode_frame({"bad": object()})
+
+
+class TestDecode:
+    def test_invalid_json(self):
+        with pytest.raises(ServiceError) as exc:
+            decode_frame(b"{nope")
+        assert exc.value.code == ErrorCode.BAD_REQUEST
+
+    def test_non_object(self):
+        with pytest.raises(ServiceError) as exc:
+            decode_frame(b"[1, 2]")
+        assert exc.value.code == ErrorCode.BAD_REQUEST
+
+    def test_oversized_frame(self):
+        line = b'"' + b"x" * MAX_LINE_BYTES + b'"'
+        with pytest.raises(ServiceError) as exc:
+            decode_frame(line)
+        assert exc.value.code == ErrorCode.BAD_REQUEST
+
+
+class TestFrames:
+    def test_ok_response(self):
+        assert ok_response(3, {"a": 1}) == {"id": 3, "ok": True, "result": {"a": 1}}
+
+    def test_error_response_carries_code(self):
+        frame = error_response(4, ErrorCode.UNKNOWN_SESSION, "gone")
+        assert frame["ok"] is False
+        assert frame["error"]["code"] == "unknown_session"
+        err = ServiceError(frame["error"]["code"], frame["error"]["message"])
+        assert err.to_error() == frame["error"]
+
+    def test_event_frame_shape(self):
+        frame = event_frame("epoch", "s1", "s1.sub1", 5, {"epoch": 5}, dropped=2)
+        assert frame["event"] == "epoch"
+        assert frame["seq"] == 5
+        assert frame["dropped"] == 2
+        assert "id" not in frame

@@ -1,0 +1,209 @@
+"""Unit tests for sessions, subscriber queues, and the manager."""
+
+import pytest
+
+from repro.memsim import MachineConfig
+from repro.service import ProfilingSession, ServiceError, SessionManager, SubscriberQueue
+from repro.tiering import TieredSimulator
+from repro.tiering.policies import HistoryPolicy
+from repro.workloads import make_workload
+
+SMALL = {"footprint_pages": 512, "accesses_per_epoch": 2000}
+
+
+def _session(session_id="s1", **kw):
+    kw.setdefault("workload", "gups")
+    kw.setdefault("workload_kwargs", dict(SMALL))
+    kw.setdefault("tier1_ratio", 0.125)
+    return ProfilingSession(session_id, **kw)
+
+
+class TestSubscriberQueue:
+    def test_drop_oldest_keeps_tail(self):
+        q = SubscriberQueue("sub", "s1", max_queue=4)
+        for i in range(10):
+            q.push("epoch", {"epoch": i})
+        assert len(q) == 4
+        frames = q.drain()
+        assert [f["data"]["epoch"] for f in frames] == [6, 7, 8, 9]
+        assert frames[-1]["seq"] == 9
+        assert q.dropped == 6
+        assert len(q) == 0
+
+    def test_seq_monotonic_across_drains(self):
+        q = SubscriberQueue("sub", "s1", max_queue=8)
+        q.push("epoch", {})
+        q.drain()
+        frame = q.push("epoch", {})
+        assert frame["seq"] == 1
+
+    def test_dropped_counter_in_frames(self):
+        q = SubscriberQueue("sub", "s1", max_queue=1)
+        q.push("epoch", {"epoch": 0})
+        frame = q.push("epoch", {"epoch": 1})
+        assert frame["dropped"] == 1
+
+    def test_bad_params(self):
+        with pytest.raises(ServiceError):
+            SubscriberQueue("sub", "s1", max_queue=0)
+        with pytest.raises(ServiceError):
+            SubscriberQueue("sub", "s1", max_rate_hz=0)
+
+
+class TestProfilingSession:
+    def test_step_returns_epoch_telemetry(self):
+        s = _session(seed=1)
+        out = s.step(2)
+        assert [e["epoch"] for e in out["epochs"]] == [0, 1]
+        assert out["epochs_run"] == 2
+        assert out["step_seconds"] > 0
+        epoch = out["epochs"][0]
+        assert set(epoch) >= {
+            "epoch", "accesses", "mem_accesses", "hitrate",
+            "promoted", "demoted", "runtime_s", "latency",
+        }
+        assert epoch["latency"]["total_s"] >= epoch["latency"]["base_s"]
+
+    def test_bit_identical_to_direct_simulator(self):
+        s = _session(seed=42)
+        frames = []
+        sub = s.subscribe(max_queue=16)
+        s.step(3)
+        frames = sub.drain()
+
+        sim = TieredSimulator(
+            make_workload("gups", **SMALL),
+            HistoryPolicy(),
+            tier1_ratio=0.125,
+            machine_config=MachineConfig.scaled(ibs_period=16),
+            seed=42,
+        )
+        res = sim.run(3)
+        assert len(frames) == 3
+        for frame, epoch in zip(frames, res.epochs):
+            assert frame["data"]["hitrate"] == epoch.hitrate
+            assert frame["data"]["promoted"] == epoch.promoted
+            assert frame["data"]["demoted"] == epoch.demoted
+            assert frame["data"]["runtime_s"] == epoch.runtime_s
+
+    def test_stats_structure(self):
+        s = _session()
+        s.step(1)
+        stats = s.stats()
+        assert stats["session"]["workload"] == "gups"
+        assert stats["daemon"]["programs"] == ["gups"]
+        assert stats["result"]["epochs_run"] == 1
+        assert stats["timings"]["step"]["items"] == 1
+
+    def test_numa_maps(self):
+        s = _session()
+        s.step(1)
+        text = s.numa_maps()
+        assert "# pid" in text
+        with pytest.raises(ServiceError):
+            s.numa_maps([424242])
+
+    def test_reconfigure_routes_trace_period(self):
+        s = _session()
+        s.reconfigure({"trace_sample_period": 8})
+        assert s.sim.machine.ibs.period == 8
+
+    def test_reconfigure_rejects_unknown_key(self):
+        s = _session()
+        with pytest.raises(ServiceError):
+            s.reconfigure({"bogus": 1})
+        with pytest.raises(ServiceError):
+            s.reconfigure({})
+
+    def test_unknown_workload_and_policy(self):
+        with pytest.raises(ServiceError):
+            _session(workload="doom")
+        with pytest.raises(ServiceError):
+            _session(policy="vibes")
+
+    def test_step_after_close_rejected(self):
+        s = _session()
+        s.step(1)
+        summary = s.close()
+        assert summary["epochs_run"] == 1
+        with pytest.raises(ServiceError):
+            s.step(1)
+
+    def test_unsubscribe_stops_frames(self):
+        s = _session()
+        sub = s.subscribe()
+        assert s.unsubscribe(sub.subscription_id)
+        s.step(1)
+        assert sub.drain() == []
+        assert not s.unsubscribe(sub.subscription_id)
+
+    def test_notify_called_per_epoch(self):
+        s = _session()
+        calls = []
+        s.subscribe(notify=lambda: calls.append(1))
+        s.step(2)
+        assert len(calls) == 2
+
+
+class TestSessionManager:
+    def _manager(self, **kw):
+        kw.setdefault("max_sessions", 2)
+        return SessionManager(**kw)
+
+    def _create(self, mgr, **kw):
+        kw.setdefault("workload", "gups")
+        kw.setdefault("workload_kwargs", dict(SMALL))
+        return mgr.create(**kw)
+
+    def test_admission_limit(self):
+        mgr = self._manager()
+        self._create(mgr)
+        self._create(mgr)
+        with pytest.raises(ServiceError) as exc:
+            self._create(mgr)
+        assert exc.value.code == "at_capacity"
+
+    def test_slot_released_on_failed_create(self):
+        mgr = self._manager(max_sessions=1)
+        with pytest.raises(ServiceError):
+            self._create(mgr, workload="doom")
+        self._create(mgr)  # the reserved slot came back
+
+    def test_get_and_close(self):
+        mgr = self._manager()
+        s = self._create(mgr)
+        assert mgr.get(s.session_id) is s
+        mgr.close(s.session_id)
+        with pytest.raises(ServiceError) as exc:
+            mgr.get(s.session_id)
+        assert exc.value.code == "unknown_session"
+        with pytest.raises(ServiceError):
+            mgr.close(s.session_id)
+
+    def test_idle_eviction_with_fake_clock(self):
+        now = [0.0]
+        mgr = SessionManager(max_sessions=4, idle_ttl_s=10.0, clock=lambda: now[0])
+        a = self._create(mgr)
+        now[0] = 8.0
+        b = self._create(mgr)
+        assert mgr.evict_idle() == []
+        now[0] = 15.0
+        assert mgr.evict_idle() == [a.session_id]
+        assert len(mgr) == 1
+        assert mgr.get(b.session_id) is b
+        assert a.closed
+
+    def test_eviction_disabled(self):
+        now = [0.0]
+        mgr = SessionManager(idle_ttl_s=0.0, clock=lambda: now[0])
+        self._create(mgr)
+        now[0] = 1e9
+        assert mgr.evict_idle() == []
+
+    def test_close_all_and_list(self):
+        mgr = self._manager()
+        a = self._create(mgr)
+        listed = mgr.list_sessions()
+        assert [s["session"] for s in listed] == [a.session_id]
+        assert mgr.close_all() == [a.session_id]
+        assert len(mgr) == 0

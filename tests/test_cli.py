@@ -10,6 +10,32 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_version(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.port == 7790
+        assert args.socket is None
+        assert args.max_sessions == 16
+        assert args.idle_ttl == 600.0
+
+    def test_serve_options(self):
+        args = build_parser().parse_args(
+            ["serve", "--socket", "/tmp/repro.sock", "--max-sessions", "4",
+             "--idle-ttl", "30", "--step-workers", "2"]
+        )
+        assert args.socket == "/tmp/repro.sock"
+        assert args.max_sessions == 4
+        assert args.idle_ttl == 30.0
+        assert args.step_workers == 2
+
     def test_profile_defaults(self):
         args = build_parser().parse_args(["profile", "gups"])
         assert args.command == "profile"

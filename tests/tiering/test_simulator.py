@@ -57,6 +57,55 @@ class TestBasics:
         assert a.total_migrations == b.total_migrations
 
 
+class TestStepping:
+    """The incremental start()/step() driving style (service path)."""
+
+    def test_step_matches_run_bit_identical(self):
+        batch = _sim(HistoryPolicy()).run(4)
+        sim = _sim(HistoryPolicy())
+        sim.start()
+        stepped = sim.step(1) + sim.step(2) + sim.step(1)
+        assert sim.epochs_run == 4
+        for a, b in zip(batch.epochs, stepped):
+            assert a.hitrate == b.hitrate
+            assert a.promoted == b.promoted
+            assert a.demoted == b.demoted
+            assert a.runtime_s == b.runtime_s
+        assert sim.result.mean_hitrate == batch.mean_hitrate
+
+    def test_step_requires_start(self):
+        with pytest.raises(RuntimeError, match="start"):
+            _sim(HistoryPolicy()).step()
+
+    def test_double_start_rejected(self):
+        sim = _sim(HistoryPolicy())
+        sim.start()
+        with pytest.raises(RuntimeError, match="already started"):
+            sim.start()
+
+    def test_run_after_run_rejected(self):
+        sim = _sim(HistoryPolicy())
+        sim.run(1)
+        with pytest.raises(RuntimeError, match="already started"):
+            sim.run(1)
+
+    def test_bad_step_count(self):
+        sim = _sim(HistoryPolicy())
+        sim.start()
+        with pytest.raises(ValueError):
+            sim.step(0)
+
+    def test_epoch_hooks_fire_in_order(self):
+        sim = _sim(HistoryPolicy())
+        seen = []
+        sim.add_epoch_hook(lambda m: seen.append(m.epoch))
+        sim.start()
+        sim.step(2)
+        sim.step(1)
+        assert seen == [0, 1, 2]
+        assert [m.epoch for m in sim.result.epochs] == [0, 1, 2]
+
+
 class TestPolicyOrdering:
     def test_true_oracle_beats_fcfa(self):
         oracle = _sim(TrueOraclePolicy()).run(5)
