@@ -1,0 +1,152 @@
+"""Service throughput benchmark: worker pool vs. in-process stepping.
+
+Runs the acceptance scenario of the multi-core service work: eight
+concurrent sessions stepping continuously against one server, once
+with ``workers=0`` (the GIL-bound in-process path) and once with
+``workers=4`` (the sticky worker-process pool), and records epochs/s
+plus the pool speedup to ``BENCH_service.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py --out BENCH_service.json
+
+On a >= 4-core machine the pool scenario must clear a 2.5x speedup
+floor (asserted by ``tests/test_performance.py``, not here, so the
+benchmark itself stays runnable on small CI boxes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import threading
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.service import ServerThread, ServiceClient  # noqa: E402
+
+WORKLOAD_KWARGS = {"footprint_pages": 512, "accesses_per_epoch": 4000}
+DEFAULT_SESSIONS = 8
+DEFAULT_EPOCHS = 24
+STEP_CHUNK = 4
+
+
+def run_scenario(
+    workers: int,
+    sessions: int = DEFAULT_SESSIONS,
+    epochs: int = DEFAULT_EPOCHS,
+    chunk: int = STEP_CHUNK,
+) -> dict:
+    """Step ``sessions`` concurrent sessions; return the timing record.
+
+    Every client thread creates its own session, warms it up with one
+    epoch (excluded from timing), then all threads step ``epochs``
+    epochs in ``chunk``-sized requests between two barriers.
+    """
+    start_barrier = threading.Barrier(sessions + 1)
+    done_barrier = threading.Barrier(sessions + 1)
+    errors: list[BaseException] = []
+
+    with ServerThread(
+        port=0,
+        workers=workers,
+        max_sessions=sessions,
+        step_workers=sessions,
+        reap_interval_s=0,
+    ) as srv:
+
+        def drive(seed: int) -> None:
+            try:
+                with ServiceClient(address=srv.address, timeout_s=300) as client:
+                    sid = client.create_session(
+                        "gups", seed=seed, workload_kwargs=dict(WORKLOAD_KWARGS)
+                    )["session"]
+                    client.step(sid, epochs=1)  # warmup: JIT-ish caches, pages
+                    start_barrier.wait()
+                    for _ in range(0, epochs, chunk):
+                        client.step(sid, epochs=chunk)
+                    done_barrier.wait()
+            except BaseException as exc:  # noqa: BLE001 — surface in main thread
+                errors.append(exc)
+                raise
+
+        threads = [
+            threading.Thread(target=drive, args=(seed,), daemon=True)
+            for seed in range(sessions)
+        ]
+        for thread in threads:
+            thread.start()
+        start_barrier.wait()
+        t0 = time.perf_counter()
+        done_barrier.wait()
+        wall_s = time.perf_counter() - t0
+        for thread in threads:
+            thread.join(timeout=60)
+    if errors:
+        raise errors[0]
+
+    total_epochs = sessions * epochs
+    return {
+        "workers": workers,
+        "sessions": sessions,
+        "epochs_per_session": epochs,
+        "total_epochs": total_epochs,
+        "wall_s": wall_s,
+        "epochs_per_s": total_epochs / wall_s,
+    }
+
+
+def run(workers_list=(0, 4), sessions=DEFAULT_SESSIONS, epochs=DEFAULT_EPOCHS) -> dict:
+    scenarios = []
+    for workers in workers_list:
+        record = run_scenario(workers, sessions=sessions, epochs=epochs)
+        print(
+            f"workers={workers}: {record['total_epochs']} epochs in "
+            f"{record['wall_s']:.2f}s -> {record['epochs_per_s']:.1f} epochs/s"
+        )
+        scenarios.append(record)
+    by_workers = {s["workers"]: s["epochs_per_s"] for s in scenarios}
+    baseline = by_workers.get(0)
+    pooled = max(
+        (v for k, v in by_workers.items() if k > 0), default=None
+    )
+    speedup = (pooled / baseline) if baseline and pooled else None
+    return {
+        "generated_unix": time.time(),
+        "cpu_count": os.cpu_count(),
+        "sessions": sessions,
+        "workload_kwargs": WORKLOAD_KWARGS,
+        "scenarios": scenarios,
+        "speedup": speedup,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default="BENCH_service.json", help="output JSON path"
+    )
+    parser.add_argument(
+        "--workers", type=int, nargs="+", default=[0, 4],
+        help="worker counts to benchmark (default: 0 4)",
+    )
+    parser.add_argument("--sessions", type=int, default=DEFAULT_SESSIONS)
+    parser.add_argument("--epochs", type=int, default=DEFAULT_EPOCHS)
+    args = parser.parse_args(argv)
+
+    report = run(
+        workers_list=args.workers, sessions=args.sessions, epochs=args.epochs
+    )
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+    if report["speedup"] is not None:
+        print(f"speedup (pool vs in-process): {report['speedup']:.2f}x")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

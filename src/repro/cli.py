@@ -16,7 +16,10 @@ experiments can be driven without writing code:
     The Fig. 6 grid (policies × sources × ratios) for one workload.
 ``serve``
     Run the online multi-session profiling service (JSON lines over
-    TCP or a unix socket); see ``docs/service.md``.
+    TCP or a unix socket).  ``--workers N`` executes sessions on a
+    sticky pool of N worker processes (default: core count;
+    ``$REPRO_SERVICE_WORKERS`` overrides; 0 steps in-process); see
+    ``docs/service.md``.
 
 ``record``, ``evaluate`` and ``sweep`` accept ``--jobs N`` (process-
 pool fan-out; default ``$REPRO_JOBS`` or the core count) and
@@ -144,6 +147,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--step-workers", type=_positive_int, default=None, metavar="N",
         help="worker threads executing session steps",
     )
+    p.add_argument(
+        "--workers", type=_nonnegative_int, default=None, metavar="N",
+        help="sticky session worker processes (0 = step in-process; "
+        "default: $REPRO_SERVICE_WORKERS or the core count)",
+    )
     return parser
 
 
@@ -154,6 +162,16 @@ def _positive_int(text: str) -> int:
         raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
     return value
 
 
@@ -501,6 +519,7 @@ def _cmd_serve(args) -> int:
             max_sessions=args.max_sessions,
             idle_ttl_s=args.idle_ttl,
             step_workers=args.step_workers,
+            workers=args.workers,
         )
         await server.start()
         if isinstance(server.address, tuple):
@@ -509,8 +528,8 @@ def _cmd_serve(args) -> int:
             where = server.address
         print(
             f"repro service listening on {where} "
-            f"(max_sessions={args.max_sessions}, idle_ttl={args.idle_ttl:g}s); "
-            "SIGTERM drains gracefully",
+            f"(max_sessions={args.max_sessions}, idle_ttl={args.idle_ttl:g}s, "
+            f"workers={server.workers}); SIGTERM drains gracefully",
             flush=True,
         )
         await server.serve_forever()

@@ -85,7 +85,10 @@ class TMProfiler:
         self.reports: list[TMPEpochReport] = []
 
         self._registered: set[int] = set()
-        self._epoch_ops: dict[int, int] = {}
+        #: Per-epoch op attribution as parallel sorted arrays (pid →
+        #: executed ops); array-merged so observe_batch stays loop-free.
+        self._epoch_pids = np.zeros(0, dtype=np.int64)
+        self._epoch_ops = np.zeros(0, dtype=np.int64)
         self._last_scan_s = float("-inf")
         self._last_filter_s = float("-inf")
         self._overhead_snapshot = (0.0, 0.0, 0.0, 0.0)
@@ -110,8 +113,9 @@ class TMProfiler:
         """
         drop = {int(p) for p in pids}
         self._registered.difference_update(drop)
-        for pid in drop:
-            self._epoch_ops.pop(pid, None)
+        keep = ~np.isin(self._epoch_pids, np.fromiter(drop, dtype=np.int64))
+        self._epoch_pids = self._epoch_pids[keep]
+        self._epoch_ops = self._epoch_ops[keep]
         self.filter.discard(drop)
 
     @property
@@ -122,16 +126,35 @@ class TMProfiler:
     # ------------------------------------------------------------- observation
 
     def observe_batch(self, batch: AccessBatch, result: BatchResult) -> None:
-        """Attribute executed ops to PIDs (feeds the resource filter)."""
+        """Attribute executed ops to PIDs (feeds the resource filter).
+
+        One vectorized sorted-array merge per batch — no Python loop
+        over PIDs, so attribution cost is flat in the process count.
+        """
         if batch.n == 0:
             return
         self.store.resize(self.machine.n_frames)
         pids, counts = np.unique(batch.pid, return_counts=True)
-        for pid, cnt in zip(pids, counts):
-            self._epoch_ops[int(pid)] = self._epoch_ops.get(int(pid), 0) + int(cnt)
+        pids = pids.astype(np.int64, copy=False)
+        counts = counts.astype(np.int64, copy=False)
+        if self._epoch_pids.size == 0:
+            self._epoch_pids, self._epoch_ops = pids, counts
+            return
+        merged = np.union1d(self._epoch_pids, pids)
+        ops = np.zeros(merged.size, dtype=np.int64)
+        ops[np.searchsorted(merged, self._epoch_pids)] += self._epoch_ops
+        ops[np.searchsorted(merged, pids)] += counts
+        self._epoch_pids, self._epoch_ops = merged, ops
+
+    def _ops_for(self, pid: int) -> int:
+        """This epoch's attributed op count for one PID."""
+        i = int(np.searchsorted(self._epoch_pids, pid))
+        if i < self._epoch_pids.size and self._epoch_pids[i] == pid:
+            return int(self._epoch_ops[i])
+        return 0
 
     def _usage(self) -> list[ProcessUsage]:
-        total_ops = sum(self._epoch_ops.values())
+        total_ops = int(self._epoch_ops.sum())
         total_frames = max(self.machine.n_frames, 1)
         n_cpus = self.machine.config.n_cpus
         usage = []
@@ -140,9 +163,7 @@ class TMProfiler:
             mem = (pt.total_frames / total_frames) if pt else 0.0
             # CPU share in single-core units (as `top` reports it): a
             # process saturating one of N cores shows 100 %, not 1/N.
-            cpu = (
-                self._epoch_ops.get(pid, 0) / total_ops * n_cpus if total_ops else 0.0
-            )
+            cpu = self._ops_for(pid) / total_ops * n_cpus if total_ops else 0.0
             usage.append(ProcessUsage(pid=pid, cpu_share=cpu, mem_share=mem))
         return usage
 
@@ -217,7 +238,8 @@ class TMProfiler:
             samples=samples,
         )
         self.reports.append(report)
-        self._epoch_ops.clear()
+        self._epoch_pids = np.zeros(0, dtype=np.int64)
+        self._epoch_ops = np.zeros(0, dtype=np.int64)
         return report
 
     def _overhead_delta(self) -> OverheadBreakdown:

@@ -168,6 +168,12 @@ class BatchResult:
             self.pfn[self.mem_mask].astype(np.intp), minlength=n_frames
         )
 
+    def page_tlb_miss_counts(self, n_frames: int) -> np.ndarray:
+        """Per-PFN TLB-miss counts for this batch."""
+        return np.bincount(
+            self.pfn[~self.tlb_hit].astype(np.intp), minlength=n_frames
+        )
+
 
 class Machine:
     """The simulated machine executing access streams."""

@@ -20,6 +20,10 @@ Layering:
     :class:`EpochMetrics`/:class:`SimulationResult` → JSON-safe dicts.
 ``session``
     One profiling session: simulator + daemon + subscriber queues.
+``workers``
+    The sticky worker-process pool (`--workers N`): sessions execute
+    on separate cores, with crash recovery and structured error
+    frames; ``workers=0`` keeps the in-process path.
 ``manager``
     The session registry: admission, lookup, TTL/idle eviction.
 ``server``
@@ -33,15 +37,20 @@ from .client import ServiceClient
 from .manager import SessionManager
 from .protocol import ErrorCode, ServiceError
 from .server import ServerThread, ServiceServer
-from .session import ProfilingSession, SubscriberQueue
+from .session import ProfilingSession, SessionBase, SubscriberQueue
+from .workers import RemoteSession, WorkerPool, resolve_workers
 
 __all__ = [
     "ErrorCode",
     "ProfilingSession",
+    "RemoteSession",
     "ServerThread",
     "ServiceClient",
     "ServiceError",
     "ServiceServer",
+    "SessionBase",
     "SessionManager",
     "SubscriberQueue",
+    "WorkerPool",
+    "resolve_workers",
 ]

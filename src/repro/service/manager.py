@@ -5,6 +5,11 @@ live sessions (admission is checked *before* the expensive session
 construction, and the slot is reserved so concurrent creates cannot
 oversubscribe), and sessions idle longer than ``idle_ttl_s`` are
 evicted by the server's reaper task.
+
+Construction is pluggable: ``session_factory`` defaults to the
+in-process :class:`ProfilingSession`, and the worker-pool server swaps
+in :meth:`~repro.service.workers.WorkerPool.session_factory` so the
+same admission/eviction envelope governs worker-backed sessions.
 """
 
 from __future__ import annotations
@@ -26,11 +31,13 @@ class SessionManager:
         max_sessions: int = 16,
         idle_ttl_s: float = 600.0,
         clock=time.monotonic,
+        session_factory=ProfilingSession,
     ):
         if max_sessions < 1:
             raise ValueError(f"max_sessions must be >= 1, got {max_sessions}")
         self.max_sessions = int(max_sessions)
         self.idle_ttl_s = float(idle_ttl_s)
+        self.session_factory = session_factory
         self._clock = clock
         self._lock = threading.Lock()
         self._sessions: dict[str, ProfilingSession] = {}
@@ -57,7 +64,7 @@ class SessionManager:
             self._next_id += 1
             session_id = f"s{self._next_id}"
         try:
-            session = ProfilingSession(session_id, clock=self._clock, **params)
+            session = self.session_factory(session_id, clock=self._clock, **params)
         except TypeError as exc:
             raise ServiceError(ErrorCode.BAD_PARAMS, str(exc)) from exc
         finally:
@@ -85,6 +92,12 @@ class SessionManager:
                 ErrorCode.UNKNOWN_SESSION, f"no such session: {session_id!r}"
             )
         return session.close()
+
+    def discard(self, session_id) -> bool:
+        """Forget a session *without* closing it (worker-crash path:
+        the session is already dead and its summary unrecoverable)."""
+        with self._lock:
+            return self._sessions.pop(session_id, None) is not None
 
     def close_all(self) -> list[str]:
         """Drain path: close every session, newest last."""

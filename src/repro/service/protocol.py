@@ -52,6 +52,7 @@ class ErrorCode:
     UNKNOWN_SESSION = "unknown_session"
     AT_CAPACITY = "at_capacity"      # admission limit reached
     SHUTTING_DOWN = "shutting_down"  # server is draining
+    WORKER_CRASHED = "worker_crashed"  # session lost to a dead worker
     INTERNAL = "internal"
 
 

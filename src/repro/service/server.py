@@ -8,11 +8,18 @@ executor so the event loop stays responsive while many tenants step
 at once; per-session locks in :class:`ProfilingSession` keep each
 session single-stepped.
 
+With ``workers > 0`` the executor threads are merely RPC couriers:
+simulation lives in a sticky :class:`~repro.service.workers.WorkerPool`
+of worker *processes*, so concurrent sessions step on separate cores
+instead of contending for the GIL.  ``workers=0`` (the default for
+embedded servers) keeps the historical in-process path.
+
 Lifecycle: ``start()`` binds a TCP port or unix socket and installs
 SIGTERM/SIGINT handlers when the platform allows; ``drain()`` (also
 the signal path) stops accepting, rejects new work with
 ``shutting_down``, lets in-flight requests finish, flushes subscriber
-queues, closes every session, and wakes ``serve_forever``.
+queues, closes every session, and joins the worker pool before waking
+``serve_forever``.
 
 :class:`ServerThread` hosts a server in a daemon thread with its own
 event loop — the embedding used by the blocking client's tests and
@@ -37,6 +44,7 @@ from .protocol import (
     error_response,
     ok_response,
 )
+from .workers import WorkerPool, resolve_workers
 
 __all__ = ["ServiceServer", "ServerThread"]
 
@@ -89,6 +97,7 @@ class ServiceServer:
         max_sessions: int = 16,
         idle_ttl_s: float = 600.0,
         step_workers: int | None = None,
+        workers: int | None = 0,
         reap_interval_s: float = 5.0,
     ):
         self.manager = manager or SessionManager(
@@ -98,11 +107,16 @@ class ServiceServer:
         self.port = port
         self.socket_path = socket_path
         self.step_workers = step_workers
+        #: Worker *processes* for session execution.  0 = in-process
+        #: stepping (the historical path); None = $REPRO_SERVICE_WORKERS
+        #: or the core count (what ``repro serve`` passes by default).
+        self.workers = resolve_workers(workers)
         self.reap_interval_s = float(reap_interval_s)
         self.address: tuple[str, int] | str | None = None
         self._server: asyncio.AbstractServer | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._executor: ThreadPoolExecutor | None = None
+        self._pool: WorkerPool | None = None
         self._connections: set[_Connection] = set()
         self._reaper: asyncio.Task | None = None
         self._inflight = 0
@@ -128,8 +142,18 @@ class ServiceServer:
         """Bind the socket, start the reaper, install signal handlers."""
         self._loop = asyncio.get_running_loop()
         self._stopped = asyncio.Event()
+        step_threads = self.step_workers
+        if self.workers > 0:
+            self._pool = WorkerPool(
+                self.workers, on_session_crash=self._on_worker_crash
+            )
+            self.manager.session_factory = self._pool.session_factory
+            if step_threads is None:
+                # Executor threads only courier RPCs to the pool; give
+                # the pool headroom so threads never gate core count.
+                step_threads = max(8, 4 * self.workers)
         self._executor = ThreadPoolExecutor(
-            max_workers=self.step_workers,
+            max_workers=step_threads,
             thread_name_prefix="repro-service-step",
         )
         if self.socket_path:
@@ -181,7 +205,11 @@ class ServiceServer:
                     break
         if self._reaper is not None:
             self._reaper.cancel()
-        self.manager.close_all()
+        # Close sessions while workers are still alive (summaries come
+        # back over the pipes), then join the pool itself.
+        await self._run_blocking(self.manager.close_all)
+        if self._pool is not None:
+            await self._run_blocking(self._pool.shutdown)
         for conn in list(self._connections):
             conn.close()
         if self._executor is not None:
@@ -199,6 +227,16 @@ class ServiceServer:
         return await self._loop.run_in_executor(
             self._executor, functools.partial(fn, *args, **kwargs)
         )
+
+    def _on_worker_crash(self, session_ids, message) -> None:
+        """Pool callback (reader thread): drop the dead sessions.
+
+        The sessions are already marked crashed and their subscribers
+        already hold the structured error frame; all that is left is
+        releasing their admission slots so new creates succeed.
+        """
+        for session_id in session_ids:
+            self.manager.discard(session_id)
 
     # ----------------------------------------------------------- connections
 
@@ -271,13 +309,17 @@ class ServiceServer:
 
     async def _op_server_info(self, conn, params) -> dict:
         address = self.address
-        return {
+        info = {
             "sessions": len(self.manager),
             "max_sessions": self.manager.max_sessions,
             "idle_ttl_s": self.manager.idle_ttl_s,
             "draining": self._draining,
             "address": list(address) if isinstance(address, tuple) else address,
+            "workers": self.workers,
         }
+        if self._pool is not None:
+            info["worker_pool"] = self._pool.info()
+        return info
 
     async def _op_list_sessions(self, conn, params) -> dict:
         return {"sessions": self.manager.list_sessions()}

@@ -14,6 +14,13 @@ drains happen on the loop.  Two locks keep that safe — ``_sim_lock``
 serializes simulator/daemon access (one step at a time per session),
 ``_sub_lock`` guards the subscriber table so frames can be drained
 *while* a step is still producing them.
+
+:class:`SessionBase` holds everything that is *tenancy*, not
+*simulation* — identity, activity tracking, the subscriber table and
+frame fan-out — so the worker-pool's remote sessions
+(:class:`~repro.service.workers.RemoteSession`, which forward
+simulation to a sticky worker process) share the exact subscriber
+semantics of the in-process path.
 """
 
 from __future__ import annotations
@@ -32,7 +39,7 @@ from ..workloads import WORKLOAD_NAMES, make_workload
 from .protocol import ErrorCode, ServiceError
 from .telemetry import epoch_metrics_to_dict, simulation_result_to_dict
 
-__all__ = ["ProfilingSession", "SubscriberQueue", "DEFAULT_MAX_QUEUE"]
+__all__ = ["ProfilingSession", "SessionBase", "SubscriberQueue", "DEFAULT_MAX_QUEUE"]
 
 #: Default per-subscriber frame buffer (drop-oldest beyond this).
 DEFAULT_MAX_QUEUE = 64
@@ -99,7 +106,88 @@ class SubscriberQueue:
         return len(self._frames)
 
 
-class ProfilingSession:
+class SessionBase:
+    """Tenancy bookkeeping shared by local and worker-backed sessions.
+
+    Identity, activity tracking (``touch``/``idle_s`` drive the
+    manager's TTL eviction), step timing records, and the subscriber
+    table with its drop-oldest fan-out.  Subclasses supply the
+    simulation: :class:`ProfilingSession` hosts it in-process,
+    :class:`~repro.service.workers.RemoteSession` forwards to a sticky
+    worker process and feeds frames back through :meth:`_fanout`.
+    """
+
+    def __init__(self, session_id: str, clock=time.monotonic):
+        self.session_id = session_id
+        self._clock = clock
+        self.created_s = clock()
+        self.last_active_s = self.created_s
+        self.closed = False
+        self.metrics = RunnerMetrics(jobs=1)
+        self._sub_lock = threading.Lock()
+        self._subscribers: dict[str, SubscriberQueue] = {}
+        self._next_sub = 0
+        #: Extra frame consumers called on every fan-out (the worker
+        #: processes use one to stream epochs back over their pipe).
+        self._sinks: list = []
+
+    # ------------------------------------------------------------- lifecycle
+
+    def touch(self) -> None:
+        self.last_active_s = self._clock()
+
+    def idle_s(self, now: float | None = None) -> float:
+        return (self._clock() if now is None else now) - self.last_active_s
+
+    # ---------------------------------------------------------- subscribers
+
+    def add_sink(self, sink) -> None:
+        """Register ``sink(event, data)`` to see every fan-out frame."""
+        self._sinks.append(sink)
+
+    def _fanout(self, event: str, data: dict) -> None:
+        """Push one frame to every subscriber queue and sink."""
+        with self._sub_lock:
+            subs = list(self._subscribers.values())
+        for sub in subs:
+            with self._sub_lock:
+                sub.push(event, data)
+            if sub.notify is not None:
+                sub.notify()
+        for sink in self._sinks:
+            sink(event, data)
+
+    def subscribe(
+        self,
+        max_queue: int = DEFAULT_MAX_QUEUE,
+        notify=None,
+        max_rate_hz: float | None = None,
+    ) -> SubscriberQueue:
+        """Attach a bounded drop-oldest subscriber queue."""
+        with self._sub_lock:
+            self._next_sub += 1
+            sub = SubscriberQueue(
+                f"{self.session_id}.sub{self._next_sub}",
+                self.session_id,
+                max_queue=max_queue,
+                notify=notify,
+                max_rate_hz=max_rate_hz,
+            )
+            self._subscribers[sub.subscription_id] = sub
+            return sub
+
+    def unsubscribe(self, subscription_id: str) -> bool:
+        with self._sub_lock:
+            return self._subscribers.pop(subscription_id, None) is not None
+
+    def drain_subscriber(self, subscription_id: str) -> list[dict]:
+        """Pop buffered frames for one subscription (loop-side path)."""
+        with self._sub_lock:
+            sub = self._subscribers.get(subscription_id)
+            return sub.drain() if sub is not None else []
+
+
+class ProfilingSession(SessionBase):
     """One tenant: simulator, daemon, timings, and subscribers."""
 
     def __init__(
@@ -130,16 +218,8 @@ class ProfilingSession:
                 ErrorCode.BAD_PARAMS,
                 f"unknown policy {policy!r}; available: {', '.join(POLICIES)}",
             )
-        self.session_id = session_id
-        self._clock = clock
-        self.created_s = clock()
-        self.last_active_s = self.created_s
-        self.closed = False
-        self.metrics = RunnerMetrics(jobs=1)
+        super().__init__(session_id, clock=clock)
         self._sim_lock = threading.Lock()
-        self._sub_lock = threading.Lock()
-        self._subscribers: dict[str, SubscriberQueue] = {}
-        self._next_sub = 0
 
         try:
             wl = make_workload(workload, **(workload_kwargs or {}))
@@ -165,12 +245,6 @@ class ProfilingSession:
         self.sim.start(init=init)
 
     # ------------------------------------------------------------- lifecycle
-
-    def touch(self) -> None:
-        self.last_active_s = self._clock()
-
-    def idle_s(self, now: float | None = None) -> float:
-        return (self._clock() if now is None else now) - self.last_active_s
 
     def info(self) -> dict:
         """Static configuration plus progress counters."""
@@ -231,14 +305,7 @@ class ProfilingSession:
 
     def _on_epoch(self, metrics) -> None:
         """Epoch-step hook: fan one frame out to every subscriber."""
-        data = epoch_metrics_to_dict(metrics)
-        with self._sub_lock:
-            subs = list(self._subscribers.values())
-        for sub in subs:
-            with self._sub_lock:
-                sub.push("epoch", data)
-            if sub.notify is not None:
-                sub.notify()
+        self._fanout("epoch", epoch_metrics_to_dict(metrics))
 
     # ------------------------------------------------------------- reporting
 
@@ -274,34 +341,3 @@ class ProfilingSession:
                 raise ServiceError(ErrorCode.BAD_PARAMS, str(exc)) from exc
             self.touch()
             return {"session": self.session_id, "applied": sorted(changes)}
-
-    # ---------------------------------------------------------- subscribers
-
-    def subscribe(
-        self,
-        max_queue: int = DEFAULT_MAX_QUEUE,
-        notify=None,
-        max_rate_hz: float | None = None,
-    ) -> SubscriberQueue:
-        """Attach a bounded drop-oldest subscriber queue."""
-        with self._sub_lock:
-            self._next_sub += 1
-            sub = SubscriberQueue(
-                f"{self.session_id}.sub{self._next_sub}",
-                self.session_id,
-                max_queue=max_queue,
-                notify=notify,
-                max_rate_hz=max_rate_hz,
-            )
-            self._subscribers[sub.subscription_id] = sub
-            return sub
-
-    def unsubscribe(self, subscription_id: str) -> bool:
-        with self._sub_lock:
-            return self._subscribers.pop(subscription_id, None) is not None
-
-    def drain_subscriber(self, subscription_id: str) -> list[dict]:
-        """Pop buffered frames for one subscription (loop-side path)."""
-        with self._sub_lock:
-            sub = self._subscribers.get(subscription_id)
-            return sub.drain() if sub is not None else []

@@ -10,7 +10,24 @@ from __future__ import annotations
 
 from ..tiering.simulator import EpochMetrics, SimulationResult
 
-__all__ = ["epoch_metrics_to_dict", "simulation_result_to_dict"]
+__all__ = [
+    "crash_event_data",
+    "epoch_metrics_to_dict",
+    "simulation_result_to_dict",
+]
+
+
+def crash_event_data(code: str, message: str, worker: int | None = None) -> dict:
+    """Payload of the structured ``error`` frame a lost session pushes.
+
+    Delivered through the same :class:`SubscriberQueue` path as epoch
+    frames, so ``seq``/``dropped`` accounting stays intact across the
+    failure and consumers can tell exactly which frames they lost.
+    """
+    data = {"code": code, "message": message}
+    if worker is not None:
+        data["worker"] = int(worker)
+    return data
 
 
 def epoch_metrics_to_dict(m: EpochMetrics) -> dict:

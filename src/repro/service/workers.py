@@ -1,0 +1,529 @@
+"""The sticky worker-process pool: multi-core session execution.
+
+The asyncio server's step path is CPU-bound Python, so a thread
+executor alone caps a whole multi-session server at roughly one core
+of simulation throughput.  This module moves the simulation out of
+the server process: a :class:`WorkerPool` spawns N worker processes
+(``multiprocessing`` spawn context — safe to respawn from a threaded
+parent), and every session is *pinned* to one worker for its whole
+life.  The worker hosts the real :class:`ProfilingSession` (simulator
++ daemon), so worker-pool runs are bit-identical to the in-process
+path; the parent holds a :class:`RemoteSession` facade that owns the
+subscriber queues and forwards ``step``/``stats``/``numa_maps``/
+``reconfigure``/``close`` over the worker's duplex pipe.
+
+Wire shape on each pipe (pickled tuples):
+
+parent → worker   ``(request_id, op, payload)``
+worker → parent   ``("reply", request_id, ok, payload)`` or
+                  ``("event", session_id, event, data)``
+
+Event tuples stream *during* a step — the worker's epoch sink sends
+one per scored epoch — so subscribers see epoch ``k`` while ``k+1``
+is still executing, exactly like the in-process path.
+
+Failure contract: a dead worker (killed pid, broken pipe) fails only
+its own sessions — every pending request on that pipe raises
+``worker_crashed``, every subscriber of its sessions receives one
+structured ``error`` frame (seq/dropped accounting intact), the
+sessions are discarded from the manager via the crash callback, and
+the slot respawns a fresh worker so subsequent ``create_session``
+calls succeed.  An *unpicklable* reply is not a crash: the worker
+catches the serialization failure and answers with an ``internal``
+error instead.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import threading
+import time
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
+
+from .protocol import ErrorCode, ServiceError
+from .session import SessionBase
+from .telemetry import crash_event_data
+
+__all__ = ["RemoteSession", "WorkerPool", "resolve_workers"]
+
+#: How long :meth:`WorkerPool.shutdown` waits for a worker to drain.
+DEFAULT_JOIN_TIMEOUT_S = 10.0
+
+
+def resolve_workers(workers: int | None) -> int:
+    """``None`` → ``$REPRO_SERVICE_WORKERS`` or ``os.cpu_count()``.
+
+    ``0`` keeps the in-process stepping path (no pool at all).
+    """
+    if workers is None:
+        env = os.environ.get("REPRO_SERVICE_WORKERS")
+        workers = int(env) if env else (os.cpu_count() or 1)
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    return workers
+
+
+# --------------------------------------------------------------------------
+# Worker-process side
+# --------------------------------------------------------------------------
+
+
+def _worker_main(conn, worker_id: int) -> None:
+    """One worker: a blocking command loop over real sessions.
+
+    Single-threaded on purpose — commands for this worker's sessions
+    execute one at a time, so per-session ordering is trivial and the
+    pipe never sees interleaved sends.  Heavy imports happen here, in
+    the child, keeping pool start cheap in the parent.
+    """
+    from .session import ProfilingSession
+
+    sessions: dict[str, ProfilingSession] = {}
+
+    def get(session_id):
+        session = sessions.get(session_id)
+        if session is None:
+            raise ServiceError(
+                ErrorCode.UNKNOWN_SESSION,
+                f"worker {worker_id} has no session {session_id!r}",
+            )
+        return session
+
+    def dispatch(op, payload):
+        if op == "create":
+            session_id, params = payload
+            try:
+                session = ProfilingSession(session_id, **params)
+            except TypeError as exc:  # mirror SessionManager.create
+                raise ServiceError(ErrorCode.BAD_PARAMS, str(exc)) from exc
+            # Stream every scored epoch back while the step executes.
+            session.add_sink(
+                lambda event, data: conn.send(("event", session_id, event, data))
+            )
+            sessions[session_id] = session
+            return session.info()
+        if op == "step":
+            session_id, epochs = payload
+            return get(session_id).step(epochs)
+        if op == "stats":
+            return get(payload).stats()
+        if op == "numa_maps":
+            session_id, pids = payload
+            return {"numa_maps": get(session_id).numa_maps(pids)}
+        if op == "reconfigure":
+            session_id, changes = payload
+            return get(session_id).reconfigure(changes)
+        if op == "close":
+            summary = get(payload).close()
+            sessions.pop(payload, None)
+            return summary
+        if op == "ping":
+            return {"worker": worker_id, "pid": os.getpid(), "sessions": len(sessions)}
+        if op == "_debug":
+            return _debug_action(payload)
+        raise ServiceError(ErrorCode.UNKNOWN_OP, f"unknown worker op {op!r}")
+
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        request_id, op, payload = message
+        if op == "shutdown":
+            try:
+                conn.send(("reply", request_id, True, {"worker": worker_id}))
+            except (OSError, ValueError):
+                pass
+            break
+        try:
+            reply = ("reply", request_id, True, dispatch(op, payload))
+        except ServiceError as exc:
+            reply = ("reply", request_id, False, (exc.code, exc.message))
+        except Exception as exc:  # noqa: BLE001 — a bad session must not kill the worker
+            reply = ("reply", request_id, False,
+                     (ErrorCode.INTERNAL, f"{type(exc).__name__}: {exc}"))
+        try:
+            conn.send(reply)
+        except (EOFError, BrokenPipeError, OSError):
+            break
+        except Exception as exc:  # noqa: BLE001 — unpicklable reply: degrade, don't die
+            try:
+                conn.send(
+                    ("reply", request_id, False,
+                     (ErrorCode.INTERNAL,
+                      f"unserializable worker reply: {type(exc).__name__}: {exc}"))
+                )
+            except Exception:  # noqa: BLE001
+                break
+    try:
+        conn.close()
+    except OSError:
+        pass
+
+
+def _debug_action(payload) -> dict:
+    """Fault injection for the crash-recovery test suites."""
+    action = (payload or {}).get("action")
+    if action == "unpicklable":
+        return {"callback": lambda: None}  # send() will fail to pickle
+    if action == "raise":
+        raise RuntimeError("injected worker failure")
+    if action == "exit":
+        os._exit(17)  # simulate a hard crash mid-request
+    return {"actions": ["unpicklable", "raise", "exit"]}
+
+
+# --------------------------------------------------------------------------
+# Parent side
+# --------------------------------------------------------------------------
+
+
+class WorkerHandle:
+    """One pool slot: a process, its pipe, and a reader thread.
+
+    The slot outlives any individual process: when the worker dies the
+    handle fails its pending requests, reports the lost sessions, and
+    respawns a fresh process in place (``generation`` advances).
+    """
+
+    def __init__(self, index: int, ctx, on_event, on_death):
+        self.index = index
+        self._ctx = ctx
+        self._on_event = on_event
+        self._on_death = on_death
+        #: Session ids currently pinned to this slot.
+        self.sessions: set[str] = set()
+        self.generation = 0
+        self.closing = False
+        self._send_lock = threading.Lock()
+        self._pending_lock = threading.Lock()
+        self._pending: dict[int, Future] = {}
+        self._request_ids = itertools.count(1)
+        self.process = None
+        self.conn = None
+        self._spawn()
+
+    def _spawn(self) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        self.process = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self.index),
+            name=f"repro-service-worker-{self.index}",
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+        self.conn = parent_conn
+        reader = threading.Thread(
+            target=self._read_loop,
+            args=(parent_conn, self.generation),
+            name=f"repro-service-reader-{self.index}",
+            daemon=True,
+        )
+        reader.start()
+
+    # ---------------------------------------------------------------- I/O
+
+    def request(self, op: str, payload=None, timeout_s: float | None = None):
+        """Send one command; block for its reply.
+
+        Raises :class:`ServiceError` with the worker's error code, or
+        ``worker_crashed`` when the pipe is (or goes) dead.
+        """
+        future: Future = Future()
+        request_id = next(self._request_ids)
+        with self._pending_lock:
+            self._pending[request_id] = future
+        try:
+            with self._send_lock:
+                self.conn.send((request_id, op, payload))
+        except (OSError, BrokenPipeError, ValueError) as exc:
+            with self._pending_lock:
+                self._pending.pop(request_id, None)
+            raise ServiceError(
+                ErrorCode.WORKER_CRASHED,
+                f"worker {self.index} unavailable: {exc}",
+            ) from exc
+        try:
+            ok, payload = future.result(timeout_s)
+        except FutureTimeoutError:
+            with self._pending_lock:
+                self._pending.pop(request_id, None)
+            raise ServiceError(
+                ErrorCode.INTERNAL,
+                f"worker {self.index} did not answer {op!r} within {timeout_s}s",
+            ) from None
+        if ok:
+            return payload
+        raise ServiceError(*payload)
+
+    def _read_loop(self, conn, generation: int) -> None:
+        try:
+            while True:
+                message = conn.recv()
+                kind = message[0]
+                if kind == "reply":
+                    _, request_id, ok, payload = message
+                    with self._pending_lock:
+                        future = self._pending.pop(request_id, None)
+                    if future is not None:
+                        future.set_result((ok, payload))
+                elif kind == "event":
+                    _, session_id, event, data = message
+                    self._on_event(session_id, event, data)
+        except (EOFError, OSError):
+            pass
+        finally:
+            if generation == self.generation and not self.closing:
+                self._handle_death()
+
+    def _handle_death(self) -> None:
+        """The worker died underneath us: fail, report, respawn."""
+        self.process.join(timeout=1.0)  # reap first so exitcode is real
+        message = (
+            f"worker {self.index} (pid {getattr(self.process, 'pid', '?')}) "
+            f"died with exit code {self.process.exitcode}"
+        )
+        with self._pending_lock:
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for future in pending:
+            future.set_result((False, (ErrorCode.WORKER_CRASHED, message)))
+        lost = sorted(self.sessions)
+        self.sessions.clear()
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        # Report the lost sessions *before* the respawn so their
+        # subscribers see the error frame the moment the pipe breaks.
+        self._on_death(self.index, lost, message)
+        self.generation += 1
+        if not self.closing:
+            self._spawn()
+
+    # ----------------------------------------------------------- lifecycle
+
+    def close(self, timeout_s: float = DEFAULT_JOIN_TIMEOUT_S) -> None:
+        """Graceful stop: ask the worker to exit, then join or kill."""
+        self.closing = True
+        try:
+            self.request("shutdown", timeout_s=timeout_s)
+        except ServiceError:
+            pass
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        self.process.join(timeout=timeout_s)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=timeout_s)
+
+
+class RemoteSession(SessionBase):
+    """The parent-side facade of a session living in a worker process.
+
+    Subscriber queues, activity tracking, and admission/TTL accounting
+    stay here (bit-identical ``subscribe`` semantics to the in-process
+    path); simulation commands forward to the sticky worker.  ``info``
+    answers from parent-side state so ``list_sessions`` never blocks
+    on — or dies with — a busy worker.
+    """
+
+    def __init__(self, session_id: str, pool: "WorkerPool", worker: WorkerHandle,
+                 clock=time.monotonic):
+        super().__init__(session_id, clock=clock)
+        self.pool = pool
+        self.worker = worker
+        self.crashed: str | None = None
+        self._static_info: dict = {}
+        self._epochs_run = 0
+
+    # ------------------------------------------------------------ plumbing
+
+    def _request(self, op, payload=None, timeout_s=None):
+        if self.crashed is not None:
+            raise ServiceError(ErrorCode.WORKER_CRASHED, self.crashed)
+        if self.closed:
+            raise ServiceError(
+                ErrorCode.UNKNOWN_SESSION, f"session {self.session_id} is closed"
+            )
+        return self.worker.request(op, payload, timeout_s=timeout_s)
+
+    def mark_crashed(self, message: str) -> None:
+        """Fail this session: one structured error frame, then closed."""
+        self.crashed = message
+        self.closed = True
+        self._fanout(
+            "error",
+            crash_event_data(ErrorCode.WORKER_CRASHED, message, self.worker.index),
+        )
+
+    # ----------------------------------------------------------------- ops
+
+    def info(self) -> dict:
+        info = dict(self._static_info)
+        info.update(
+            session=self.session_id,
+            epochs_run=self._epochs_run,
+            subscribers=len(self._subscribers),
+            idle_s=self.idle_s(),
+            worker=self.worker.index,
+        )
+        if self.crashed is not None:
+            info["crashed"] = self.crashed
+        return info
+
+    def step(self, epochs: int = 1) -> dict:
+        if epochs < 1:
+            raise ServiceError(ErrorCode.BAD_PARAMS, "epochs must be >= 1")
+        t0 = time.perf_counter()
+        result = self._request("step", (self.session_id, epochs))
+        self.metrics.add(
+            "step",
+            self.session_id,
+            time.perf_counter() - t0,
+            items=len(result["epochs"]),
+        )
+        self._epochs_run = result["epochs_run"]
+        self.touch()
+        return result
+
+    def stats(self) -> dict:
+        stats = self._request("stats", self.session_id)
+        stats["session"] = self.info()  # parent-side truth (subscribers, idle)
+        self.touch()
+        return stats
+
+    def numa_maps(self, pids=None) -> str:
+        self.touch()
+        return self._request("numa_maps", (self.session_id, pids))["numa_maps"]
+
+    def reconfigure(self, changes: dict) -> dict:
+        if not isinstance(changes, dict) or not changes:
+            raise ServiceError(
+                ErrorCode.BAD_PARAMS, "reconfigure needs a non-empty changes object"
+            )
+        result = self._request("reconfigure", (self.session_id, changes))
+        self.touch()
+        return result
+
+    def close(self) -> dict:
+        """Finalize in the worker; never raises on a dead worker."""
+        if self.crashed is not None:
+            summary = {"session": self.session_id, "crashed": self.crashed}
+        else:
+            try:
+                summary = self._request(
+                    "close", self.session_id, timeout_s=DEFAULT_JOIN_TIMEOUT_S
+                )
+            except ServiceError as exc:
+                summary = {"session": self.session_id, "crashed": exc.message}
+        self.closed = True
+        self.pool.release(self)
+        with self._sub_lock:
+            self._subscribers.clear()
+        return summary
+
+
+class WorkerPool:
+    """N sticky worker processes plus the session → worker registry."""
+
+    def __init__(self, n_workers: int, on_session_crash=None, mp_context="spawn"):
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.n_workers = int(n_workers)
+        #: Called with ``(session_ids, message)`` after a worker death,
+        #: once the sessions are already marked crashed — the server
+        #: uses it to discard them from the manager.
+        self.on_session_crash = on_session_crash
+        self._ctx = multiprocessing.get_context(mp_context)
+        self._lock = threading.Lock()
+        self._sessions: dict[str, RemoteSession] = {}
+        self.respawns = 0
+        self.workers = [
+            WorkerHandle(i, self._ctx, self._route_event, self._worker_died)
+            for i in range(self.n_workers)
+        ]
+
+    # ------------------------------------------------------------- routing
+
+    def _route_event(self, session_id: str, event: str, data: dict) -> None:
+        with self._lock:
+            session = self._sessions.get(session_id)
+        if session is not None:
+            session._fanout(event, data)
+
+    def _worker_died(self, index: int, lost: list[str], message: str) -> None:
+        self.respawns += 1
+        crashed: list[RemoteSession] = []
+        with self._lock:
+            for session_id in lost:
+                session = self._sessions.pop(session_id, None)
+                if session is not None:
+                    crashed.append(session)
+        for session in crashed:
+            session.mark_crashed(message)
+        if self.on_session_crash is not None and lost:
+            self.on_session_crash(lost, message)
+
+    # ------------------------------------------------------------ sessions
+
+    def session_factory(self, session_id: str, clock=time.monotonic, **params):
+        """Build one session on the least-loaded worker (sticky).
+
+        Drop-in for :class:`ProfilingSession` as the manager's session
+        factory: same signature, same :class:`ServiceError` surface.
+        """
+        with self._lock:
+            worker = min(
+                self.workers, key=lambda w: (len(w.sessions), w.index)
+            )
+            session = RemoteSession(session_id, self, worker, clock=clock)
+            worker.sessions.add(session_id)
+            self._sessions[session_id] = session
+        try:
+            info = worker.request("create", (session_id, params))
+        except ServiceError:
+            self.release(session)
+            raise
+        session._static_info = {
+            k: v for k, v in info.items() if k not in ("idle_s", "subscribers")
+        }
+        session._epochs_run = info.get("epochs_run", 0)
+        return session
+
+    def release(self, session: RemoteSession) -> None:
+        """Forget a session (closed or failed-to-create)."""
+        with self._lock:
+            self._sessions.pop(session.session_id, None)
+            session.worker.sessions.discard(session.session_id)
+
+    # ------------------------------------------------------------ lifecycle
+
+    def info(self) -> dict:
+        with self._lock:
+            per_worker = {w.index: len(w.sessions) for w in self.workers}
+        return {
+            "workers": self.n_workers,
+            "alive": sum(w.process.is_alive() for w in self.workers),
+            "sessions_per_worker": per_worker,
+            "respawns": self.respawns,
+        }
+
+    def ping_all(self, timeout_s: float = DEFAULT_JOIN_TIMEOUT_S) -> list[dict]:
+        """Round-trip every worker (startup/liveness check)."""
+        return [w.request("ping", timeout_s=timeout_s) for w in self.workers]
+
+    def shutdown(self, timeout_s: float = DEFAULT_JOIN_TIMEOUT_S) -> None:
+        """Drain path: stop every worker, joining gracefully first."""
+        for worker in self.workers:
+            worker.closing = True
+        for worker in self.workers:
+            worker.close(timeout_s=timeout_s)
+        with self._lock:
+            self._sessions.clear()

@@ -37,6 +37,27 @@ from .tiers import TIER2, TieredMemory, make_tiers
 __all__ = ["TieredSimulator", "EpochMetrics", "SimulationResult"]
 
 
+def _grown(arr: np.ndarray, size: int) -> np.ndarray:
+    """``arr`` zero-padded to ``size`` (returned as-is when big enough)."""
+    if arr.size >= size:
+        return arr
+    out = np.zeros(size, dtype=arr.dtype)
+    out[: arr.size] = arr
+    return out
+
+
+def _accumulate(total: np.ndarray, part: np.ndarray) -> np.ndarray:
+    """Add ``part`` into ``total``, growing ``total`` once if needed.
+
+    The epoch's per-frame accumulators use this instead of an ad-hoc
+    pad-then-slice dance: the frame space only ever grows across
+    slices, so one grow per slice suffices.
+    """
+    total = _grown(total, part.size)
+    total[: part.size] += part
+    return total
+
+
 @dataclass
 class EpochMetrics:
     """Per-epoch outcome of the tiered simulation."""
@@ -253,18 +274,13 @@ class TieredSimulator:
             part = batch.take(slice(int(bounds[i]), int(bounds[i + 1])))
             res = machine.run_batch(part)
             self.profiler.observe_batch(part, res)
-            c = res.page_access_counts(machine.n_frames)
-            m = res.page_mem_access_counts(machine.n_frames)
-            t = np.bincount(
-                res.pfn[~res.tlb_hit].astype(np.intp), minlength=machine.n_frames
+            counts = _accumulate(counts, res.page_access_counts(machine.n_frames))
+            mem_counts = _accumulate(
+                mem_counts, res.page_mem_access_counts(machine.n_frames)
             )
-            if counts.size < c.size:
-                counts = np.pad(counts, (0, c.size - counts.size))
-                mem_counts = np.pad(mem_counts, (0, m.size - mem_counts.size))
-                tlb_counts = np.pad(tlb_counts, (0, t.size - tlb_counts.size))
-            counts[: c.size] += c
-            mem_counts[: m.size] += m
-            tlb_counts[: t.size] += t
+            tlb_counts = _accumulate(
+                tlb_counts, res.page_tlb_miss_counts(machine.n_frames)
+            )
             if i < self.epoch_slices - 1:
                 self.profiler.tick()
 
@@ -285,10 +301,9 @@ class TieredSimulator:
             for pt in machine.page_tables.values():
                 machine.pml.clear_dirty(pt)
         n_frames = machine.n_frames
-        if counts.size < n_frames:
-            counts = np.pad(counts, (0, n_frames - counts.size))
-            mem_counts = np.pad(mem_counts, (0, n_frames - mem_counts.size))
-            tlb_counts = np.pad(tlb_counts, (0, n_frames - tlb_counts.size))
+        counts = _grown(counts, n_frames)
+        mem_counts = _grown(mem_counts, n_frames)
+        tlb_counts = _grown(tlb_counts, n_frames)
         dirty = machine.pml.drain() if machine.pml.enabled else None
         ctx = PolicyContext(
             epoch=e,

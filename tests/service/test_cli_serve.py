@@ -13,25 +13,42 @@ from repro.service import ServiceClient
 STARTUP_TIMEOUT_S = 30
 
 
-@pytest.fixture()
-def serve_process():
+def _spawn_serve(*extra_args):
     env = dict(os.environ)
     src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
     env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
-    proc = subprocess.Popen(
+    return subprocess.Popen(
         [sys.executable, "-m", "repro", "serve", "--port", "0",
-         "--max-sessions", "2"],
+         "--max-sessions", "2", *extra_args],
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
         env=env,
         text=True,
     )
+
+
+def _reap(proc):
+    if proc.poll() is None:
+        proc.kill()
+    proc.wait(STARTUP_TIMEOUT_S)
+
+
+@pytest.fixture()
+def serve_process():
+    proc = _spawn_serve()
     try:
         yield proc
     finally:
-        if proc.poll() is None:
-            proc.kill()
-        proc.wait(STARTUP_TIMEOUT_S)
+        _reap(proc)
+
+
+@pytest.fixture()
+def pooled_serve_process():
+    proc = _spawn_serve("--workers", "2")
+    try:
+        yield proc
+    finally:
+        _reap(proc)
 
 
 def _wait_for_address(proc) -> tuple:
@@ -59,4 +76,28 @@ class TestServeCommand:
             serve_process.send_signal(signal.SIGTERM)
             assert serve_process.wait(STARTUP_TIMEOUT_S) == 0
         out = serve_process.stdout.read()
+        assert "drained" in out
+
+    def test_serve_with_worker_pool_drains_on_sigterm(self, pooled_serve_process):
+        address = _wait_for_address(pooled_serve_process)
+        with ServiceClient(address=address, timeout_s=STARTUP_TIMEOUT_S) as client:
+            info = client.request("server_info")
+            assert info["workers"] == 2
+            assert info["worker_pool"]["alive"] == 2
+            sids = [
+                client.create_session(
+                    "gups",
+                    seed=i,
+                    workload_kwargs={
+                        "footprint_pages": 512, "accesses_per_epoch": 2000,
+                    },
+                )["session"]
+                for i in range(2)
+            ]
+            for sid in sids:
+                assert client.step(sid, epochs=1)["epochs_run"] == 1
+
+            pooled_serve_process.send_signal(signal.SIGTERM)
+            assert pooled_serve_process.wait(STARTUP_TIMEOUT_S) == 0
+        out = pooled_serve_process.stdout.read()
         assert "drained" in out

@@ -1,0 +1,169 @@
+"""Unit tests for the sticky worker-process pool (no server involved).
+
+Exercises the pipe protocol, fault injection (unpicklable replies,
+in-worker exceptions, hard exits), respawn, and the bit-identical
+parity of a worker-hosted session with a direct simulator run.
+"""
+
+import time
+
+import pytest
+
+from repro.memsim import MachineConfig
+from repro.service import ServiceError, WorkerPool, resolve_workers
+from repro.service.protocol import ErrorCode
+from repro.tiering import TieredSimulator
+from repro.tiering.policies import POLICIES
+from repro.workloads import make_workload
+
+SMALL = {"footprint_pages": 512, "accesses_per_epoch": 2000}
+SESSION_KW = {"workload": "gups", "workload_kwargs": dict(SMALL)}
+
+
+@pytest.fixture
+def pool():
+    pool = WorkerPool(1)
+    yield pool
+    pool.shutdown()
+
+
+def _wait(predicate, timeout_s=15.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.02)
+    return False
+
+
+class TestResolveWorkers:
+    def test_explicit_value_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE_WORKERS", "7")
+        assert resolve_workers(3) == 3
+        assert resolve_workers(0) == 0
+
+    def test_none_reads_env_then_cpu_count(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE_WORKERS", "5")
+        assert resolve_workers(None) == 5
+        monkeypatch.delenv("REPRO_SERVICE_WORKERS")
+        assert resolve_workers(None) >= 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_workers(-1)
+
+
+class TestWorkerProtocol:
+    def test_ping_round_trips(self, pool):
+        (reply,) = pool.ping_all()
+        assert reply["worker"] == 0
+        assert reply["pid"] == pool.workers[0].process.pid
+        assert reply["sessions"] == 0
+
+    def test_unknown_op_is_an_error_not_a_crash(self, pool):
+        with pytest.raises(ServiceError) as err:
+            pool.workers[0].request("no_such_op")
+        assert err.value.code == ErrorCode.UNKNOWN_OP
+        assert pool.ping_all()[0]["worker"] == 0  # still alive
+
+    def test_unpicklable_reply_degrades_to_internal_error(self, pool):
+        with pytest.raises(ServiceError) as err:
+            pool.workers[0].request("_debug", {"action": "unpicklable"})
+        assert err.value.code == ErrorCode.INTERNAL
+        assert "unserializable" in err.value.message
+        assert pool.ping_all()[0]["worker"] == 0  # worker survived
+
+    def test_worker_exception_maps_to_internal_error(self, pool):
+        with pytest.raises(ServiceError) as err:
+            pool.workers[0].request("_debug", {"action": "raise"})
+        assert err.value.code == ErrorCode.INTERNAL
+        assert "injected worker failure" in err.value.message
+        assert pool.ping_all()[0]["worker"] == 0
+
+
+class TestCrashRecovery:
+    def test_hard_exit_fails_request_and_respawns(self, pool):
+        worker = pool.workers[0]
+        old_pid = worker.process.pid
+        with pytest.raises(ServiceError) as err:
+            worker.request("_debug", {"action": "exit"})
+        assert err.value.code == ErrorCode.WORKER_CRASHED
+        assert _wait(
+            lambda: worker.process is not None
+            and worker.process.is_alive()
+            and worker.process.pid != old_pid
+        )
+        assert pool.ping_all()[0]["pid"] != old_pid
+        assert pool.respawns == 1
+
+    def test_crash_marks_sessions_and_fires_callback(self):
+        crashes = []
+        pool = WorkerPool(1, on_session_crash=lambda s, m: crashes.append((s, m)))
+        try:
+            session = pool.session_factory("doomed", seed=3, **SESSION_KW)
+            frames = []
+            session.add_sink(lambda event, data: frames.append((event, data)))
+            with pytest.raises(ServiceError) as err:
+                session.worker.request("_debug", {"action": "exit"})
+            assert err.value.code == ErrorCode.WORKER_CRASHED
+            assert _wait(lambda: bool(crashes))
+            assert crashes[0][0] == ["doomed"]
+            assert session.crashed is not None
+            errors = [d for e, d in frames if e == "error"]
+            assert errors and errors[0]["code"] == ErrorCode.WORKER_CRASHED
+            assert errors[0]["worker"] == 0
+            with pytest.raises(ServiceError) as err:
+                session.step(1)
+            assert err.value.code == ErrorCode.WORKER_CRASHED
+            # close() on a crashed session must not raise.
+            assert session.close()["crashed"]
+            # The respawned slot accepts new sessions.
+            assert _wait(lambda: pool.workers[0].process.is_alive())
+            fresh = pool.session_factory("fresh", seed=4, **SESSION_KW)
+            assert fresh.step(1)["epochs_run"] == 1
+            fresh.close()
+        finally:
+            pool.shutdown()
+
+
+class TestSessionParity:
+    def test_worker_session_matches_direct_run(self, pool):
+        epochs = 3
+        session = pool.session_factory(
+            "parity", seed=11, tier1_ratio=0.125, **SESSION_KW
+        )
+        frames = []
+        session.add_sink(lambda event, data: frames.append(data))
+        stepped = session.step(epochs)
+        summary = session.close()
+
+        sim = TieredSimulator(
+            make_workload("gups", **SMALL),
+            POLICIES["history"](),
+            tier1_ratio=0.125,
+            machine_config=MachineConfig.scaled(ibs_period=16),
+            seed=11,
+        )
+        direct = sim.run(epochs)
+        for data, direct_epoch in zip(frames, direct.epochs, strict=True):
+            assert data["epoch"] == direct_epoch.epoch
+            assert data["hitrate"] == direct_epoch.hitrate
+            assert data["runtime_s"] == direct_epoch.runtime_s
+        assert stepped["epochs_run"] == epochs
+        assert summary["mean_hitrate"] == direct.mean_hitrate
+        assert summary["total_migrations"] == direct.total_migrations
+
+    def test_bad_params_rejected_and_slot_released(self, pool):
+        with pytest.raises(ServiceError) as err:
+            pool.session_factory("bad", workload="doom")
+        assert err.value.code == ErrorCode.BAD_PARAMS
+        assert pool.info()["sessions_per_worker"][0] == 0
+
+
+class TestShutdown:
+    def test_shutdown_joins_worker_processes(self):
+        pool = WorkerPool(2)
+        processes = [w.process for w in pool.workers]
+        assert all(p.is_alive() for p in processes)
+        pool.shutdown()
+        assert all(not p.is_alive() for p in processes)

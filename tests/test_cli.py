@@ -25,16 +25,23 @@ class TestParser:
         assert args.socket is None
         assert args.max_sessions == 16
         assert args.idle_ttl == 600.0
+        assert args.workers is None  # resolved at server start
 
     def test_serve_options(self):
         args = build_parser().parse_args(
             ["serve", "--socket", "/tmp/repro.sock", "--max-sessions", "4",
-             "--idle-ttl", "30", "--step-workers", "2"]
+             "--idle-ttl", "30", "--step-workers", "2", "--workers", "4"]
         )
         assert args.socket == "/tmp/repro.sock"
         assert args.max_sessions == 4
         assert args.idle_ttl == 30.0
         assert args.step_workers == 2
+        assert args.workers == 4
+
+    def test_serve_workers_zero_and_negative(self):
+        assert build_parser().parse_args(["serve", "--workers", "0"]).workers == 0
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--workers", "-1"])
 
     def test_profile_defaults(self):
         args = build_parser().parse_args(["profile", "gups"])

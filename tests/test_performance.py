@@ -117,6 +117,28 @@ class TestRunnerThroughput:
             f"({serial_s:.2f}s -> {parallel_s:.2f}s)"
         )
 
+    @pytest.mark.skipif(
+        (os.cpu_count() or 1) < 4, reason="service speedup floor needs >= 4 cores"
+    )
+    def test_service_worker_pool_speedup(self):
+        # Acceptance: 8 concurrent sessions through a 4-worker pool
+        # step >= 2.5x faster than the GIL-bound in-process path.
+        import importlib.util
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parent.parent
+        spec = importlib.util.spec_from_file_location(
+            "bench_service", root / "benchmarks" / "bench_service.py"
+        )
+        bench = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(bench)
+
+        report = bench.run(workers_list=(0, 4))
+        assert report["speedup"] >= 2.5, (
+            f"workers=4 speedup only {report['speedup']:.2f}x "
+            f"({report['scenarios']})"
+        )
+
 
 class TestTinyBatches:
     @pytest.mark.parametrize("n", [0, 1, 2])
