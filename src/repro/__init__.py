@@ -29,6 +29,10 @@ substrate:
     (``repro serve``) hosting many concurrent simulator+daemon
     sessions with streaming per-epoch telemetry, plus the blocking
     ``ServiceClient``.
+``repro.obs``
+    Observability: the in-process metrics registry (counters, gauges,
+    histograms; atomic snapshots; Prometheus rendering) and structured
+    JSON logging used by the service, runner, and profiler core.
 
 Quickstart::
 
@@ -73,7 +77,7 @@ from .tiering import (
 )
 from .workloads import WORKLOAD_NAMES, make_workload, paper_suite
 
-__version__ = "0.4.0"
+__version__ = "0.5.0"
 
 __all__ = [
     "AccessBatch",

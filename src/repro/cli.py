@@ -18,8 +18,10 @@ experiments can be driven without writing code:
     Run the online multi-session profiling service (JSON lines over
     TCP or a unix socket).  ``--workers N`` executes sessions on a
     sticky pool of N worker processes (default: core count;
-    ``$REPRO_SERVICE_WORKERS`` overrides; 0 steps in-process); see
-    ``docs/service.md``.
+    ``$REPRO_SERVICE_WORKERS`` overrides; 0 steps in-process).
+    ``--metrics-port`` exposes a Prometheus scrape endpoint and
+    ``--log-json`` switches on structured logs; see ``docs/service.md``
+    and ``docs/observability.md``.
 
 ``record``, ``evaluate`` and ``sweep`` accept ``--jobs N`` (process-
 pool fan-out; default ``$REPRO_JOBS`` or the core count) and
@@ -151,6 +153,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=_nonnegative_int, default=None, metavar="N",
         help="sticky session worker processes (0 = step in-process; "
         "default: $REPRO_SERVICE_WORKERS or the core count)",
+    )
+    p.add_argument(
+        "--metrics-port", type=_nonnegative_int, default=None, metavar="PORT",
+        help="serve Prometheus metrics on this port (0 picks a free one; "
+        "default: $REPRO_METRICS_PORT or disabled)",
+    )
+    p.add_argument(
+        "--log-json", action="store_true",
+        help="emit structured JSON logs on stderr (also $REPRO_LOG_JSON)",
     )
     return parser
 
@@ -509,7 +520,16 @@ def _cmd_evaluate(args) -> int:
 def _cmd_serve(args) -> int:
     import asyncio
 
+    from .obs import log as obs_log
     from .service import ServiceServer
+
+    if args.log_json:
+        obs_log.configure(enabled=True)
+        # Worker processes read the environment, not our in-process state.
+        os.environ["REPRO_LOG_JSON"] = "1"
+    metrics_port = args.metrics_port
+    if metrics_port is None and os.environ.get("REPRO_METRICS_PORT"):
+        metrics_port = int(os.environ["REPRO_METRICS_PORT"])
 
     async def _serve() -> None:
         server = ServiceServer(
@@ -520,6 +540,7 @@ def _cmd_serve(args) -> int:
             idle_ttl_s=args.idle_ttl,
             step_workers=args.step_workers,
             workers=args.workers,
+            metrics_port=metrics_port,
         )
         await server.start()
         if isinstance(server.address, tuple):
@@ -532,6 +553,11 @@ def _cmd_serve(args) -> int:
             f"workers={server.workers}); SIGTERM drains gracefully",
             flush=True,
         )
+        if server.metrics_address is not None:
+            print(
+                "metrics at http://{}:{}/metrics".format(*server.metrics_address),
+                flush=True,
+            )
         await server.serve_forever()
         print("repro service drained, exiting", flush=True)
 

@@ -79,20 +79,30 @@ class TMPDaemon:
         re-read them at every epoch boundary, so the change is live).
         Knobs that live in a driver rather than the config are routed
         to the driver: ``trace_sample_period`` reprograms the trace
-        sampler through :meth:`set_trace_period`.  Unknown keys raise
-        before anything is mutated.
+        sampler through :meth:`set_trace_period`.  The whole call is
+        atomic: every key *and* the sampling period are validated up
+        front, so a rejected reconfigure leaves no field half-applied.
         """
         if "trace_source" in changes:
             raise ValueError("trace_source cannot be changed after start")
         cfg = self.profiler.config
         trace_period = changes.pop("trace_sample_period", None)
+        if trace_period is not None:
+            # Validate before any plain field is mutated — the sampler
+            # enforces period >= 1, and hitting that error *after*
+            # setattr would leave a half-applied config behind.
+            trace_period = int(trace_period)
+            if trace_period < 1:
+                raise ValueError(
+                    f"trace_sample_period must be >= 1, got {trace_period}"
+                )
         for key in changes:
             if not hasattr(cfg, key):
                 raise AttributeError(f"TMPConfig has no parameter {key!r}")
         for key, value in changes.items():
             setattr(cfg, key, value)
         if trace_period is not None:
-            self.set_trace_period(int(trace_period))
+            self.set_trace_period(trace_period)
         return cfg
 
     def set_trace_period(self, period: int) -> None:

@@ -21,6 +21,7 @@ import numpy as np
 
 from ..memsim.events import AccessBatch
 from ..memsim.machine import BatchResult, Machine
+from ..obs import metrics as obs_metrics
 from .abit_driver import ABitDriver
 from .config import TMPConfig
 from .hotness import RankSource, hotness_rank
@@ -184,9 +185,12 @@ class TMProfiler:
         if now - self._last_scan_s < self.config.abit_scan_interval_s:
             return False
         self.store.resize(self.machine.n_frames)
-        tracked = self.filter.tracked if self.config.process_filter else None
-        if not tracked:
-            tracked = self.registered_pids
+        # Strict filter semantics, identical to end_epoch: when the
+        # process filter is armed, only its tracked set is walked —
+        # an empty tracked set means *no* scan coverage, never a
+        # fall-back to every registered PID (which would charge
+        # filtered-out processes the walk the filter exists to avoid).
+        tracked = self.filter.tracked if self.config.process_filter else self.registered_pids
         self.abit.scan(tracked)
         self._last_scan_s = now
         return True
@@ -240,6 +244,24 @@ class TMProfiler:
         self.reports.append(report)
         self._epoch_pids = np.zeros(0, dtype=np.int64)
         self._epoch_ops = np.zeros(0, dtype=np.int64)
+        registry = obs_metrics.default_registry()
+        registry.counter(
+            "repro_profiler_epochs_total", "Epochs closed by TMProfiler"
+        ).inc()
+        overhead_total = registry.counter(
+            "repro_profiler_overhead_seconds_total",
+            "Simulated profiling CPU time by component",
+            labelnames=("component",),
+        )
+        ov = report.overhead
+        for component, seconds in (
+            ("abit", ov.abit_s),
+            ("trace", ov.trace_s),
+            ("hwpc", ov.hwpc_s),
+            ("filter", ov.filter_s),
+        ):
+            if seconds:
+                overhead_total.inc(seconds, component=component)
         return report
 
     def _overhead_delta(self) -> OverheadBreakdown:

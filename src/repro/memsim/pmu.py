@@ -52,8 +52,20 @@ class PMUReading:
     duty_cycle: float
 
     @property
+    def scheduled(self) -> bool:
+        """The event held a physical register for at least one slice."""
+        return self.duty_cycle > 0.0
+
+    @property
     def multiplexed(self) -> bool:
-        return self.duty_cycle < 1.0
+        """The event was time-sliced: counted, but not in every slice.
+
+        An event that was *never* scheduled (``duty_cycle == 0.0`` —
+        the PMU has seen no slices yet, or rotation has not reached
+        it) is not multiplexed; its estimate is missing, not scaled.
+        Check :attr:`scheduled` to distinguish that case.
+        """
+        return 0.0 < self.duty_cycle < 1.0
 
 
 class PMU:

@@ -1,0 +1,101 @@
+"""The optional Prometheus scrape endpoint.
+
+A tiny threaded HTTP server exposing two read-only views of one
+``collect()`` callback (which must return a metrics *snapshot* — see
+:mod:`repro.obs.metrics`):
+
+``GET /metrics``
+    Prometheus text exposition format 0.0.4 — point a scraper at it.
+``GET /metrics.json``
+    The raw snapshot as JSON, for humans and ad-hoc tooling.
+
+The server runs on a daemon thread (``start()``/``close()``); the
+service starts one when ``repro serve --metrics-port`` (or
+``REPRO_METRICS_PORT``) is given, with ``collect`` wired to the
+server's parent+workers aggregation.  Port 0 binds an ephemeral port,
+readable from :attr:`MetricsHTTPServer.port` — the form every test
+uses.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .metrics import render_prometheus
+
+__all__ = ["MetricsHTTPServer", "PROMETHEUS_CONTENT_TYPE"]
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        collect = self.server.collect  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0]
+        if path not in ("/metrics", "/metrics.json"):
+            self.send_error(404, "only /metrics and /metrics.json exist")
+            return
+        try:
+            snapshot = collect()
+        except Exception as exc:  # noqa: BLE001 — a scrape must not kill the server
+            self.send_error(500, f"{type(exc).__name__}: {exc}")
+            return
+        if path == "/metrics.json":
+            body = json.dumps(snapshot, indent=2).encode("utf-8")
+            content_type = "application/json"
+        else:
+            body = render_prometheus(snapshot).encode("utf-8")
+            content_type = PROMETHEUS_CONTENT_TYPE
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format, *args) -> None:  # noqa: A002
+        pass  # scrapes are high-frequency; keep stderr quiet
+
+
+class MetricsHTTPServer:
+    """Serves one ``collect()`` callback over HTTP on a daemon thread."""
+
+    def __init__(self, collect, host: str = "127.0.0.1", port: int = 0):
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.collect = collect  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    def start(self) -> "MetricsHTTPServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-metrics-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def close(self, timeout_s: float = 5.0) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout_s)
+
+    def __enter__(self) -> "MetricsHTTPServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -28,14 +28,31 @@ import numpy as np
 
 from ..core.config import TMPConfig
 from ..memsim.machine import MachineConfig
+from ..obs import metrics as obs_metrics
 from ..tiering import serialize as _serialize
 from ..tiering.recorded import RecordedRun
 
 __all__ = ["RunCache", "cache_key"]
 
 
+def _count(outcome: str) -> None:
+    obs_metrics.default_registry().counter(
+        "repro_cache_lookups_total",
+        "Recorded-run cache lookups by outcome",
+        labelnames=("outcome",),
+    ).inc(outcome=outcome)
+
+
 def _canonical(obj):
-    """Reduce ``obj`` to a deterministic JSON-encodable form."""
+    """Reduce ``obj`` to a deterministic JSON-encodable form.
+
+    Raises ``TypeError`` for anything it cannot canonicalize.  The old
+    ``repr()`` fallback was a correctness trap: default ``repr`` embeds
+    the object's memory address (``<object at 0x7f...>``), so a spec
+    carrying such a value in ``workload_kw`` hashed differently in
+    every process and the cache silently never hit.  A loud failure at
+    key time beats a cache that lies about being cold.
+    """
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
         return {
             f.name: _canonical(getattr(obj, f.name))
@@ -45,11 +62,17 @@ def _canonical(obj):
         return {str(k): _canonical(obj[k]) for k in sorted(obj, key=str)}
     if isinstance(obj, (list, tuple)):
         return [_canonical(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
     if isinstance(obj, np.generic):
         return obj.item()
     if obj is None or isinstance(obj, (str, int, float, bool)):
         return obj
-    return repr(obj)
+    raise TypeError(
+        f"cannot build a stable cache key from {type(obj).__name__!s}: "
+        "RecordSpec values must be JSON-like (None/str/int/float/bool), "
+        "numpy scalars/arrays, dataclasses, or containers of those"
+    )
 
 
 def cache_key(spec) -> str:
@@ -103,18 +126,21 @@ class RunCache:
         path = self.path_for(key)
         if not path.exists():
             self.misses += 1
+            _count("miss")
             return None
         try:
             run = _serialize.load_recorded(path)
         except Exception:
             self.errors += 1
             self.misses += 1
+            _count("error")
             try:
                 path.unlink()
             except OSError:
                 pass
             return None
         self.hits += 1
+        _count("hit")
         return run
 
     def put(self, key: str, recorded: RecordedRun) -> Path:

@@ -29,6 +29,7 @@ from pathlib import Path
 
 from ..core.config import TMPConfig
 from ..memsim.machine import MachineConfig
+from ..obs import metrics as obs_metrics
 from ..tiering.policies import POLICIES
 from ..tiering.recorded import RecordedRun, evaluate_recorded, record_run
 from ..tiering.serialize import load_recorded
@@ -46,6 +47,15 @@ __all__ = [
     "record_suite",
     "resolve_jobs",
 ]
+
+
+def _count_jobs(stage: str, n: int = 1) -> None:
+    if n:
+        obs_metrics.default_registry().counter(
+            "repro_runner_jobs_total",
+            "Experiment-runner tasks dispatched by stage",
+            labelnames=("stage",),
+        ).inc(n, stage=stage)
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -147,6 +157,7 @@ def record_suite(
 
     if not pending:
         return runs
+    _count_jobs("record", len(pending))
     if jobs == 1 or len(pending) == 1:
         for i in pending:
             t0 = time.perf_counter()
@@ -258,6 +269,7 @@ def evaluate_grids(
                     f"available: {', '.join(POLICIES)}"
                 )
     out: list[list] = [[None] * len(cells) for _, cells, _ in grids]
+    _count_jobs("evaluate", sum(len(cells) for _, cells, _ in grids))
 
     if jobs == 1:
         for g, (ref, cells, label) in enumerate(grids):

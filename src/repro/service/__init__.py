@@ -31,6 +31,12 @@ Layering:
     thread-hosted variant for embedding in sync programs and tests.
 ``client``
     A blocking socket client (`ServiceClient`).
+
+Observability: every layer records into :mod:`repro.obs` — the
+``metrics`` protocol op (and :meth:`ServiceClient.metrics`) returns one
+snapshot merged across the parent and every worker process, and
+``repro serve --metrics-port`` serves the same aggregate in the
+Prometheus text format.  See ``docs/observability.md``.
 """
 
 from .client import ServiceClient

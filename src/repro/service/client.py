@@ -162,3 +162,7 @@ class ServiceClient:
 
     def close_session(self, session: str) -> dict:
         return self.request("close_session", session=session)
+
+    def metrics(self) -> dict:
+        """The server's merged metrics snapshot (all worker processes)."""
+        return self.request("metrics")["metrics"]

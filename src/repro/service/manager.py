@@ -17,10 +17,24 @@ from __future__ import annotations
 import threading
 import time
 
+from ..obs import log as obs_log
+from ..obs import metrics as obs_metrics
 from .protocol import ErrorCode, ServiceError
 from .session import ProfilingSession
 
 __all__ = ["SessionManager"]
+
+_log = obs_log.get_logger("service.manager")
+
+
+def _metrics():
+    return obs_metrics.default_registry()
+
+
+def _set_active(n: int) -> None:
+    _metrics().gauge(
+        "repro_service_sessions_active", "Live sessions in the manager"
+    ).set(n)
 
 
 class SessionManager:
@@ -56,6 +70,11 @@ class SessionManager:
         """
         with self._lock:
             if len(self._sessions) + self._reserved >= self.max_sessions:
+                _metrics().counter(
+                    "repro_service_sessions_rejected_total",
+                    "Session creations refused by admission control",
+                    labelnames=("reason",),
+                ).inc(reason="at_capacity")
                 raise ServiceError(
                     ErrorCode.AT_CAPACITY,
                     f"session limit reached ({self.max_sessions})",
@@ -72,6 +91,17 @@ class SessionManager:
                 self._reserved -= 1
         with self._lock:
             self._sessions[session_id] = session
+            n_active = len(self._sessions)
+        _metrics().counter(
+            "repro_service_sessions_created_total", "Sessions admitted and built"
+        ).inc()
+        _set_active(n_active)
+        _log.info(
+            "session_created",
+            session=session_id,
+            workload=params.get("workload"),
+            worker=getattr(getattr(session, "worker", None), "index", None),
+        )
         return session
 
     def get(self, session_id) -> ProfilingSession:
@@ -87,17 +117,32 @@ class SessionManager:
         """Close and forget one session; returns its final summary."""
         with self._lock:
             session = self._sessions.pop(session_id, None)
+            n_active = len(self._sessions)
         if session is None:
             raise ServiceError(
                 ErrorCode.UNKNOWN_SESSION, f"no such session: {session_id!r}"
             )
+        _metrics().counter(
+            "repro_service_sessions_closed_total", "Sessions closed by request"
+        ).inc()
+        _set_active(n_active)
+        _log.info("session_closed", session=session_id)
         return session.close()
 
     def discard(self, session_id) -> bool:
         """Forget a session *without* closing it (worker-crash path:
         the session is already dead and its summary unrecoverable)."""
         with self._lock:
-            return self._sessions.pop(session_id, None) is not None
+            dropped = self._sessions.pop(session_id, None) is not None
+            n_active = len(self._sessions)
+        if dropped:
+            _metrics().counter(
+                "repro_service_sessions_crashed_total",
+                "Sessions lost to worker crashes",
+            ).inc()
+            _set_active(n_active)
+            _log.warning("session_crashed", session=session_id)
+        return dropped
 
     def close_all(self) -> list[str]:
         """Drain path: close every session, newest last."""
@@ -106,6 +151,11 @@ class SessionManager:
             self._sessions.clear()
         for _, session in sessions:
             session.close()
+        if sessions:
+            _metrics().counter(
+                "repro_service_sessions_closed_total", "Sessions closed by request"
+            ).inc(len(sessions))
+        _set_active(0)
         return [sid for sid, _ in sessions]
 
     def evict_idle(self, now: float | None = None) -> list[str]:
@@ -120,8 +170,16 @@ class SessionManager:
                 if s.idle_s(now) > self.idle_ttl_s
             ]
             evicted = [(sid, self._sessions.pop(sid)) for sid in stale]
-        for _, session in evicted:
+            n_active = len(self._sessions)
+        for sid, session in evicted:
             session.close()
+            _log.info("session_evicted", session=sid, idle_ttl_s=self.idle_ttl_s)
+        if evicted:
+            _metrics().counter(
+                "repro_service_sessions_evicted_total",
+                "Sessions evicted by the idle TTL",
+            ).inc(len(evicted))
+            _set_active(n_active)
         return [sid for sid, _ in evicted]
 
     def list_sessions(self) -> list[dict]:

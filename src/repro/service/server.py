@@ -34,6 +34,9 @@ import signal
 import threading
 from concurrent.futures import ThreadPoolExecutor
 
+from ..obs import log as obs_log
+from ..obs import metrics as obs_metrics
+from ..obs.http import MetricsHTTPServer
 from .manager import SessionManager
 from .protocol import (
     MAX_LINE_BYTES,
@@ -47,6 +50,8 @@ from .protocol import (
 from .workers import WorkerPool, resolve_workers
 
 __all__ = ["ServiceServer", "ServerThread"]
+
+_log = obs_log.get_logger("service.server")
 
 
 class _Connection:
@@ -99,6 +104,7 @@ class ServiceServer:
         step_workers: int | None = None,
         workers: int | None = 0,
         reap_interval_s: float = 5.0,
+        metrics_port: int | None = None,
     ):
         self.manager = manager or SessionManager(
             max_sessions=max_sessions, idle_ttl_s=idle_ttl_s
@@ -112,6 +118,11 @@ class ServiceServer:
         #: or the core count (what ``repro serve`` passes by default).
         self.workers = resolve_workers(workers)
         self.reap_interval_s = float(reap_interval_s)
+        #: Optional Prometheus scrape endpoint (`--metrics-port`); 0
+        #: binds an ephemeral port, None disables the endpoint.
+        self.metrics_port = metrics_port
+        self.metrics_address: tuple[str, int] | None = None
+        self._metrics_http: MetricsHTTPServer | None = None
         self.address: tuple[str, int] | str | None = None
         self._server: asyncio.AbstractServer | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -134,6 +145,7 @@ class ServiceServer:
             "subscribe": self._op_subscribe,
             "unsubscribe": self._op_unsubscribe,
             "close_session": self._op_close_session,
+            "metrics": self._op_metrics,
         }
 
     # ------------------------------------------------------------- lifecycle
@@ -166,8 +178,24 @@ class ServiceServer:
                 self._handle_connection, self.host, self.port, limit=MAX_LINE_BYTES
             )
             self.address = self._server.sockets[0].getsockname()[:2]
+        if self.metrics_port is not None:
+            self._metrics_http = MetricsHTTPServer(
+                self.collect_metrics, host=self.host, port=self.metrics_port
+            )
+            self._metrics_http.start()
+            self.metrics_address = self._metrics_http.address
         if self.reap_interval_s > 0:
             self._reaper = asyncio.create_task(self._reap_loop())
+        _log.info(
+            "server_started",
+            address=list(self.address)
+            if isinstance(self.address, tuple)
+            else self.address,
+            workers=self.workers,
+            metrics_address=list(self.metrics_address)
+            if self.metrics_address
+            else None,
+        )
         for sig in (signal.SIGTERM, signal.SIGINT):
             try:
                 self._loop.add_signal_handler(
@@ -212,8 +240,12 @@ class ServiceServer:
             await self._run_blocking(self._pool.shutdown)
         for conn in list(self._connections):
             conn.close()
+        if self._metrics_http is not None:
+            self._metrics_http.close()
+            self._metrics_http = None
         if self._executor is not None:
             self._executor.shutdown(wait=False)
+        _log.info("server_drained")
         self._stopped.set()
 
     async def _reap_loop(self) -> None:
@@ -267,6 +299,7 @@ class ServiceServer:
 
     async def _handle_line(self, conn: _Connection, line: bytes) -> None:
         request_id = None
+        op = None
         self._inflight += 1
         try:
             frame = decode_frame(line)
@@ -282,14 +315,22 @@ class ServiceServer:
                 )
             result = await handler(conn, params)
             response = ok_response(request_id, result)
+            outcome = "ok"
         except ServiceError as exc:
             response = error_response(request_id, exc.code, exc.message)
+            outcome = str(exc.code)
         except Exception as exc:  # noqa: BLE001 — survive bad tenants
             response = error_response(
                 request_id, ErrorCode.INTERNAL, f"{type(exc).__name__}: {exc}"
             )
+            outcome = "internal"
         finally:
             self._inflight -= 1
+        obs_metrics.default_registry().counter(
+            "repro_service_requests_total",
+            "Requests handled by the JSON-lines server",
+            labelnames=("op", "outcome"),
+        ).inc(op=str(op), outcome=outcome)
         try:
             await conn.send(response)
         except ConnectionError:
@@ -396,6 +437,26 @@ class ServiceServer:
         session_id = self._session_id(params)
         summary = await self._run_blocking(self.manager.close, session_id)
         return {"session": session_id, "result": summary}
+
+    async def _op_metrics(self, conn, params) -> dict:
+        return {"metrics": await self._run_blocking(self.collect_metrics)}
+
+    def collect_metrics(self) -> dict:
+        """One merged metrics snapshot: this process plus every worker.
+
+        Blocking (worker round-trips); the async path runs it in the
+        executor, and the Prometheus endpoint calls it from its own
+        serving thread.
+        """
+        registry = obs_metrics.default_registry()
+        if self._pool is not None:
+            registry.gauge(
+                "repro_service_workers_alive", "Live worker processes"
+            ).set(self._pool.info()["alive"])
+        snapshots = [registry.snapshot()]
+        if self._pool is not None:
+            snapshots.extend(self._pool.collect_metrics())
+        return obs_metrics.merge_snapshots(snapshots)
 
     async def _pump(self, conn: _Connection, session, sub, wake) -> None:
         """Forward one subscription's frames to its connection.

@@ -32,6 +32,7 @@ from collections import deque
 from ..core.config import TMPConfig
 from ..core.daemon import TMPDaemon
 from ..memsim.machine import MachineConfig
+from ..obs import metrics as obs_metrics
 from ..runner.metrics import RunnerMetrics
 from ..tiering.policies import POLICIES
 from ..tiering.simulator import TieredSimulator
@@ -81,9 +82,18 @@ class SubscriberQueue:
 
     def push(self, event: str, data: dict) -> dict:
         """Append one frame, dropping the oldest when full."""
+        registry = obs_metrics.default_registry()
+        registry.counter(
+            "repro_service_subscriber_frames_total",
+            "Frames pushed into subscriber queues",
+        ).inc()
         if len(self._frames) >= self.max_queue:
             self._frames.popleft()
             self.dropped += 1
+            registry.counter(
+                "repro_service_subscriber_dropped_total",
+                "Frames shed (drop-oldest) by full subscriber queues",
+            ).inc()
         frame = {
             "event": event,
             "session": self.session_id,
@@ -289,12 +299,18 @@ class ProfilingSession(SessionBase):
                 )
             t0 = time.perf_counter()
             stepped = self.sim.step(epochs)
+            seconds = time.perf_counter() - t0
             event = self.metrics.add(
-                "step",
-                self.session_id,
-                time.perf_counter() - t0,
-                items=len(stepped),
+                "step", self.session_id, seconds, items=len(stepped)
             )
+            registry = obs_metrics.default_registry()
+            registry.histogram(
+                "repro_session_step_seconds",
+                "Wall-clock latency of one step request",
+            ).observe(seconds)
+            registry.counter(
+                "repro_session_epochs_total", "Scored epochs stepped"
+            ).inc(len(stepped))
             self.touch()
             return {
                 "session": self.session_id,

@@ -43,11 +43,15 @@ import time
 from concurrent.futures import Future
 from concurrent.futures import TimeoutError as FutureTimeoutError
 
+from ..obs import log as obs_log
+from ..obs import metrics as obs_metrics
 from .protocol import ErrorCode, ServiceError
 from .session import SessionBase
 from .telemetry import crash_event_data
 
 __all__ = ["RemoteSession", "WorkerPool", "resolve_workers"]
+
+_log = obs_log.get_logger("service.workers")
 
 #: How long :meth:`WorkerPool.shutdown` waits for a worker to drain.
 DEFAULT_JOIN_TIMEOUT_S = 10.0
@@ -122,6 +126,11 @@ def _worker_main(conn, worker_id: int) -> None:
             return summary
         if op == "ping":
             return {"worker": worker_id, "pid": os.getpid(), "sessions": len(sessions)}
+        if op == "metrics":
+            # Piggybacked observability: the parent merges this
+            # snapshot (step latency, epochs, profiler overhead — the
+            # real sessions live here) into its own registry's view.
+            return obs_metrics.default_registry().snapshot()
         if op == "_debug":
             return _debug_action(payload)
         raise ServiceError(ErrorCode.UNKNOWN_OP, f"unknown worker op {op!r}")
@@ -460,6 +469,13 @@ class WorkerPool:
 
     def _worker_died(self, index: int, lost: list[str], message: str) -> None:
         self.respawns += 1
+        obs_metrics.default_registry().counter(
+            "repro_service_worker_respawns_total",
+            "Worker processes respawned after a crash",
+        ).inc()
+        _log.warning(
+            "worker_respawn", worker=index, lost_sessions=lost, message=message
+        )
         crashed: list[RemoteSession] = []
         with self._lock:
             for session_id in lost:
@@ -518,6 +534,20 @@ class WorkerPool:
     def ping_all(self, timeout_s: float = DEFAULT_JOIN_TIMEOUT_S) -> list[dict]:
         """Round-trip every worker (startup/liveness check)."""
         return [w.request("ping", timeout_s=timeout_s) for w in self.workers]
+
+    def collect_metrics(self, timeout_s: float = DEFAULT_JOIN_TIMEOUT_S) -> list[dict]:
+        """Every live worker's metrics snapshot (piggybacked RPC).
+
+        A worker that crashes or stalls mid-collection contributes
+        nothing rather than failing the whole scrape.
+        """
+        snapshots = []
+        for worker in self.workers:
+            try:
+                snapshots.append(worker.request("metrics", timeout_s=timeout_s))
+            except ServiceError:
+                continue
+        return snapshots
 
     def shutdown(self, timeout_s: float = DEFAULT_JOIN_TIMEOUT_S) -> None:
         """Drain path: stop every worker, joining gracefully first."""

@@ -128,6 +128,25 @@ class TestPollingAndConfig:
         assert m.ibs.period == 7
         assert prof.config.min_mem_share == 0.25
 
+    def test_reconfigure_invalid_trace_period_is_atomic(self):
+        # Regression: an invalid trace_sample_period used to be applied
+        # *after* the plain config fields were already mutated, leaving
+        # a half-applied config behind the ValueError.
+        m, prof, d = _setup()
+        before_share = prof.config.min_cpu_share
+        before_period = m.ibs.period
+        with pytest.raises(ValueError):
+            d.reconfigure(min_cpu_share=0.42, trace_sample_period=0)
+        assert prof.config.min_cpu_share == before_share
+        assert m.ibs.period == before_period
+
+    def test_reconfigure_non_integer_trace_period_is_atomic(self):
+        m, prof, d = _setup()
+        before = prof.config.min_mem_share
+        with pytest.raises((TypeError, ValueError)):
+            d.reconfigure(min_mem_share=0.33, trace_sample_period="fast")
+        assert prof.config.min_mem_share == before
+
     def test_trace_source_frozen(self):
         _, prof, d = _setup()
         with pytest.raises(ValueError):

@@ -133,6 +133,40 @@ class TestProcessFilterIntegration:
         rep = prof.end_epoch()
         assert rep.tracked_pids == [1, 2]
 
+    def test_tick_respects_empty_filter(self):
+        # Regression: tick() used to fall back to scanning *all*
+        # registered PIDs whenever filter.tracked was empty, diverging
+        # from end_epoch's strict filter semantics — a filter that
+        # excludes every process must leave the A-bit walker idle.
+        m = _machine(n_cpus=1)
+        vma = m.mmap(1, 64)
+        # Thresholds no process can ever meet: tracked set stays empty.
+        prof = TMProfiler(m, TMPConfig(min_cpu_share=2.0, min_mem_share=2.0))
+        prof.register_pids([1])
+        rep0 = _run_epoch(m, prof, vma)  # first epoch evaluates the filter
+        assert prof.filter.tracked == []
+        assert rep0.tracked_pids == []
+        rng = np.random.default_rng(1)
+        b = AccessBatch.from_pages(rng.choice(vma.vpns, 1000), pid=1)
+        prof.observe_batch(b, m.run_batch(b))
+        assert prof.tick()  # the scan pass runs...
+        rep = prof.end_epoch()
+        # ...but covers no process — exactly like end_epoch's own scan.
+        assert rep.abit_pages_found == 0
+        assert rep.profile.abit.sum() == 0
+
+    def test_tick_filter_disabled_scans_registered(self):
+        m = _machine(n_cpus=1)
+        vma = m.mmap(1, 64)
+        prof = TMProfiler(m, TMPConfig(process_filter=False))
+        prof.register_pids([1])
+        rng = np.random.default_rng(0)
+        b = AccessBatch.from_pages(rng.choice(vma.vpns, 1000), pid=1)
+        prof.observe_batch(b, m.run_batch(b))
+        assert prof.tick()
+        rep = prof.end_epoch()
+        assert rep.profile.abit.sum() > 0
+
 
 class TestOverhead:
     def test_per_epoch_deltas_sum_to_total(self):

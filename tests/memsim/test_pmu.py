@@ -53,6 +53,45 @@ class TestNoMultiplexing:
             pmu.read("dtlb_miss")
 
 
+class TestNeverScheduled:
+    def test_no_slices_yet_is_not_multiplexed(self):
+        # Regression: duty_cycle == 0.0 (the event never held a
+        # register) used to report multiplexed=True.  "Never counted"
+        # and "time-sliced" are different failure modes.
+        pmu = PMU(n_counters=4)
+        pmu.configure(["llc_miss"])
+        r = pmu.read("llc_miss")
+        assert r.duty_cycle == 0.0
+        assert not r.scheduled
+        assert not r.multiplexed
+
+    def test_rotation_not_reached_is_not_multiplexed(self):
+        # 3 events, 1 register, 1 slice: only the first event has been
+        # scheduled; the others are unscheduled, not multiplexed.
+        pmu = PMU(n_counters=1)
+        pmu.configure(["llc_miss", "dtlb_miss", "retired_ops"])
+        pmu.update({"llc_miss": 7, "dtlb_miss": 7, "retired_ops": 7})
+        scheduled = pmu.read("llc_miss")
+        assert scheduled.scheduled
+        assert not scheduled.multiplexed  # duty 1.0 so far: every slice
+        for event in ("dtlb_miss", "retired_ops"):
+            r = pmu.read(event)
+            assert r.duty_cycle == 0.0
+            assert not r.scheduled
+            assert not r.multiplexed
+            assert r.estimate == 0.0
+
+    def test_time_sliced_is_multiplexed(self):
+        pmu = PMU(n_counters=1)
+        pmu.configure(["llc_miss", "dtlb_miss"])
+        for _ in range(10):
+            pmu.update({"llc_miss": 1, "dtlb_miss": 1})
+        r = pmu.read("llc_miss")
+        assert 0.0 < r.duty_cycle < 1.0
+        assert r.scheduled
+        assert r.multiplexed
+
+
 class TestMultiplexing:
     def test_duty_scaling_recovers_uniform_rate(self):
         # 4 events, 2 registers → each event active ~half the slices.

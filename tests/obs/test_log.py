@@ -1,0 +1,71 @@
+"""Tests for structured JSON logging."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import log as obs_log
+
+
+@pytest.fixture
+def capture():
+    """Enable logging into a StringIO for the duration of one test."""
+    stream = io.StringIO()
+    obs_log.configure(enabled=True, stream=stream)
+    yield stream
+    obs_log.configure(enabled=False, stream=None)
+
+
+def _events(stream):
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestJsonLogger:
+    def test_one_json_object_per_line(self, capture):
+        log = obs_log.get_logger("test.component")
+        log.info("thing_happened", count=3)
+        log.warning("thing_wobbled")
+        events = _events(capture)
+        assert len(events) == 2
+        assert events[0]["level"] == "info"
+        assert events[0]["component"] == "test.component"
+        assert events[0]["event"] == "thing_happened"
+        assert events[0]["count"] == 3
+        assert isinstance(events[0]["ts"], float)
+        assert events[1]["level"] == "warning"
+
+    def test_bound_context_merges_into_every_event(self, capture):
+        log = obs_log.get_logger("svc", worker=2)
+        child = log.bind(session="s7")
+        child.info("stepped", epochs=1)
+        (event,) = _events(capture)
+        assert event["worker"] == 2
+        assert event["session"] == "s7"
+        assert event["epochs"] == 1
+
+    def test_bind_does_not_mutate_parent(self, capture):
+        log = obs_log.get_logger("svc")
+        log.bind(session="s1")
+        log.info("plain")
+        (event,) = _events(capture)
+        assert "session" not in event
+
+    def test_disabled_emits_nothing(self):
+        stream = io.StringIO()
+        obs_log.configure(enabled=False, stream=stream)
+        obs_log.get_logger("svc").info("ignored")
+        assert stream.getvalue() == ""
+
+    def test_unknown_level_rejected(self, capture):
+        with pytest.raises(ValueError, match="unknown log level"):
+            obs_log.get_logger("svc").log("fatal", "boom")
+
+    def test_non_json_values_stringified(self, capture):
+        import numpy as np
+
+        log = obs_log.get_logger("svc")
+        log.info("arrays", arr=np.array([1, 2]), obj=object())
+        (event,) = _events(capture)
+        assert event["arr"] == [1, 2]
+        assert event["obj"].startswith("<object object")

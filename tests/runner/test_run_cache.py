@@ -60,6 +60,61 @@ class TestCacheKey:
         monkeypatch.setattr(serialize, "_FORMAT_VERSION", serialize._FORMAT_VERSION + 1)
         assert cache_key(_spec()) != base
 
+    def test_uncanonicalizable_value_raises(self):
+        # Regression: the old repr() fallback embedded the object's
+        # memory address, so the key silently differed per process and
+        # such specs could never hit.  Now it fails loudly at key time.
+        spec = _spec(workload_kw={"callback": object()})
+        with pytest.raises(TypeError, match="stable cache key"):
+            cache_key(spec)
+
+    def test_numpy_values_canonicalize(self):
+        a = _spec(workload_kw={"n": np.int64(512), "w": np.array([1, 2])})
+        b = _spec(workload_kw={"n": 512, "w": [1, 2]})
+        assert cache_key(a) == cache_key(b)
+
+    def test_key_equal_across_processes(self):
+        # Equal specs must hash equally in different interpreters (and
+        # under different hash seeds) — the whole point of a shared
+        # on-disk cache.
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        import repro
+
+        program = (
+            "import numpy as np\n"
+            "from repro.runner import RecordSpec, cache_key\n"
+            "spec = RecordSpec('gups', workload_kw={"
+            "'footprint_pages': np.int64(512), "
+            "'nested': {'b': [1, 2.5], 'a': 'x'}}, epochs=3, seed=2)\n"
+            "print(cache_key(spec))\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(repro.__file__).parents[1])
+        env["PYTHONHASHSEED"] = "random"
+        keys = {
+            subprocess.run(
+                [sys.executable, "-c", program],
+                capture_output=True, text=True, check=True, env=env,
+            ).stdout.strip()
+            for _ in range(2)
+        }
+        local = cache_key(
+            RecordSpec(
+                "gups",
+                workload_kw={
+                    "footprint_pages": np.int64(512),
+                    "nested": {"b": [1, 2.5], "a": "x"},
+                },
+                epochs=3,
+                seed=2,
+            )
+        )
+        assert keys == {local}
+
 
 class TestRunCache:
     def test_miss_then_hit(self, tmp_path):
@@ -120,3 +175,25 @@ class TestRunCache:
         spec = _spec()
         cache.put(cache_key(spec), spec.record())
         assert [p.name for p in tmp_path.glob(".*tmp*")] == []
+
+    def test_lookups_recorded_in_metrics(self, tmp_path):
+        from repro.obs import metrics as obs_metrics
+
+        previous = obs_metrics.set_default_registry(obs_metrics.MetricsRegistry())
+        try:
+            cache = RunCache(tmp_path)
+            spec = _spec()
+            key = cache_key(spec)
+            assert cache.get(key) is None
+            cache.put(key, spec.record())
+            assert cache.get(key) is not None
+            cache.path_for(key).write_bytes(b"garbage")
+            assert cache.get(key) is None
+            lookups = obs_metrics.default_registry().counter(
+                "repro_cache_lookups_total", labelnames=("outcome",)
+            )
+            assert lookups.value(outcome="miss") == 1
+            assert lookups.value(outcome="hit") == 1
+            assert lookups.value(outcome="error") == 1
+        finally:
+            obs_metrics.set_default_registry(previous)
