@@ -178,7 +178,40 @@ def run_metrics_overhead(
     }
 
 
-def run(workers_list=(0, 4), sessions=DEFAULT_SESSIONS, epochs=DEFAULT_EPOCHS) -> dict:
+def run_ipc_amortization(
+    workers: int = 4,
+    sessions: int = DEFAULT_SESSIONS,
+    epochs: int = DEFAULT_EPOCHS,
+) -> dict:
+    """Win from multi-epoch ``step`` batching through the worker pool.
+
+    ``step(epochs=k)`` ships one command and one result per ``k``
+    epochs instead of per epoch, so the per-request cost (socket
+    round-trip, JSON framing, pool dispatch, telemetry drain) is paid
+    ``1/k`` as often.  This scenario measures that directly:
+    ``chunk=1`` (an RPC per epoch) vs ``chunk=STEP_CHUNK``, same
+    total work.
+    """
+    unbatched = run_scenario(workers, sessions=sessions, epochs=epochs, chunk=1)
+    batched = run_scenario(
+        workers, sessions=sessions, epochs=epochs, chunk=STEP_CHUNK
+    )
+    return {
+        "workers": workers,
+        "chunk_unbatched": 1,
+        "chunk_batched": STEP_CHUNK,
+        "unbatched": unbatched,
+        "batched": batched,
+        "speedup": batched["epochs_per_s"] / unbatched["epochs_per_s"],
+    }
+
+
+def run(
+    workers_list=(0, 4),
+    sessions=DEFAULT_SESSIONS,
+    epochs=DEFAULT_EPOCHS,
+    include_ipc=False,
+) -> dict:
     scenarios = []
     for workers in workers_list:
         record = run_scenario(workers, sessions=sessions, epochs=epochs)
@@ -201,7 +234,7 @@ def run(workers_list=(0, 4), sessions=DEFAULT_SESSIONS, epochs=DEFAULT_EPOCHS) -
             overhead["disabled_cpu_s"],
         )
     )
-    return {
+    report = {
         "generated_unix": time.time(),
         "cpu_count": os.cpu_count(),
         "sessions": sessions,
@@ -210,6 +243,19 @@ def run(workers_list=(0, 4), sessions=DEFAULT_SESSIONS, epochs=DEFAULT_EPOCHS) -
         "speedup": speedup,
         "metrics_overhead": overhead,
     }
+    if include_ipc:
+        pool_workers = max(workers_list) or 4
+        ipc = run_ipc_amortization(
+            workers=pool_workers, sessions=sessions, epochs=epochs
+        )
+        print(
+            f"ipc amortization (chunk {ipc['chunk_batched']} vs 1): "
+            f"{ipc['speedup']:.2f}x "
+            f"({ipc['unbatched']['epochs_per_s']:.1f} -> "
+            f"{ipc['batched']['epochs_per_s']:.1f} epochs/s)"
+        )
+        report["ipc_amortization"] = ipc
+    return report
 
 
 def main(argv=None) -> int:
@@ -226,7 +272,10 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     report = run(
-        workers_list=args.workers, sessions=args.sessions, epochs=args.epochs
+        workers_list=args.workers,
+        sessions=args.sessions,
+        epochs=args.epochs,
+        include_ipc=True,
     )
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2)

@@ -1,0 +1,216 @@
+"""Simulation hot-path benchmark: scalar reference vs vectorized engines.
+
+Times the epoch hot path at three depths and writes ``BENCH_sim.json``:
+
+* ``engine``  — the lookup engines head-to-head on one batched key
+  stream: ``SequentialSetAssoc`` vs ``VectorSetAssoc`` on the ways=4
+  set-associative config (the acceptance arm: the vectorized engine
+  must clear 5x), and ``SequentialSetAssoc(ways=1)`` vs
+  ``VectorDirectMapped`` on the default direct-mapped config.
+* ``machine`` — the whole ``Machine.run_batch`` pipeline (translate,
+  TLB, walks, caches, PMU, samplers, ground truth) with exact ways=4
+  engines, vectorized vs ``assoc_reference=True``.
+* ``sim``     — end-to-end ``TieredSimulator`` epochs (profiler,
+  policy, migration included) on the default direct-mapped config.
+
+One "epoch" is one ~200 K-access batch — the scaled testbed's
+simulated second — so every arm reports comparable ``epochs_per_s``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sim.py --out BENCH_sim.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.memsim import AccessBatch, Machine, MachineConfig  # noqa: E402
+from repro.memsim.vecsim import make_engine  # noqa: E402
+
+KEYS_PER_EPOCH = 200_000
+ZIPF_A = 1.2
+WAYS4 = dict(capacity=4096, ways=4)  # 1024 sets x 4 ways
+
+
+def _zipf_keys(n: int, seed: int = 0) -> np.ndarray:
+    """A skewed key stream: hot head, long tail, like page traffic."""
+    rng = np.random.default_rng(seed)
+    return (rng.zipf(ZIPF_A, n) % (1 << 16)).astype(np.uint64)
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_engine(
+    name: str,
+    *,
+    capacity: int,
+    ways: int,
+    reference: bool,
+    epochs: int = 3,
+    repeats: int = 3,
+) -> dict:
+    """Time one engine over ``epochs`` batched key-stream epochs."""
+    keys = [_zipf_keys(KEYS_PER_EPOCH, seed=e) for e in range(epochs)]
+    exact = ways > 1
+
+    def run():
+        engine = make_engine(
+            capacity, ways, exact_assoc=exact, reference=reference
+        )
+        for k in keys:
+            engine.access(k)
+
+    seconds = _best_of(run, repeats)
+    engine = make_engine(capacity, ways, exact_assoc=exact, reference=reference)
+    return {
+        "arm": name,
+        "engine": type(engine).__name__,
+        "capacity": capacity,
+        "ways": ways,
+        "epochs": epochs,
+        "keys_per_epoch": KEYS_PER_EPOCH,
+        "seconds": seconds,
+        "keys_per_s": epochs * KEYS_PER_EPOCH / seconds,
+        "epochs_per_s": epochs / seconds,
+    }
+
+
+def bench_machine(*, reference: bool, epochs: int = 2, repeats: int = 2) -> dict:
+    """Time the full run_batch pipeline with exact ways=4 engines."""
+    cfg = MachineConfig.scaled(
+        exact_assoc=True, tlb_ways=4, cache_ways=4, assoc_reference=reference
+    )
+
+    def build():
+        m = Machine(cfg)
+        vma = m.mmap(1, 4096)
+        rng = np.random.default_rng(0)
+        batches = [
+            AccessBatch.from_pages(
+                rng.choice(vma.vpns, KEYS_PER_EPOCH),
+                pid=1,
+                cpu=rng.integers(0, cfg.n_cpus, KEYS_PER_EPOCH).astype(np.int16),
+                # Line-granular in-page offsets, like the workload
+                # generators — page-aligned streams would alias every
+                # access into one cache set.
+                offset=(rng.integers(0, 64, KEYS_PER_EPOCH) << 6).astype(np.uint64),
+            )
+            for _ in range(epochs)
+        ]
+        return m, batches
+
+    def run():
+        m, batches = build()
+        for b in batches:
+            m.run_batch(b)
+
+    seconds = _best_of(run, repeats)
+    return {
+        "arm": "machine_ways4",
+        "reference": reference,
+        "epochs": epochs,
+        "accesses_per_epoch": KEYS_PER_EPOCH,
+        "seconds": seconds,
+        "epochs_per_s": epochs / seconds,
+    }
+
+
+def bench_sim(*, reference: bool, epochs: int = 4, repeats: int = 2) -> dict:
+    """Time end-to-end TieredSimulator epochs, default direct-mapped."""
+    from repro.tiering import TieredSimulator
+    from repro.tiering.policies import POLICIES
+    from repro.workloads import make_workload
+
+    def run():
+        sim = TieredSimulator(
+            make_workload("gups", accesses_per_epoch=50_000),
+            POLICIES["history"](),
+            machine_config=MachineConfig.scaled(
+                ibs_period=64, assoc_reference=reference
+            ),
+        )
+        sim.start()
+        sim.step(epochs)
+
+    seconds = _best_of(run, repeats)
+    return {
+        "arm": "sim_default",
+        "reference": reference,
+        "epochs": epochs,
+        "accesses_per_epoch": 50_000,
+        "seconds": seconds,
+        "epochs_per_s": epochs / seconds,
+    }
+
+
+def run() -> dict:
+    arms = {}
+
+    arms["engine_ways4_scalar"] = bench_engine(
+        "engine_ways4_scalar", reference=True, **WAYS4
+    )
+    arms["engine_ways4_vector"] = bench_engine(
+        "engine_ways4_vector", reference=False, **WAYS4
+    )
+    arms["engine_direct_scalar"] = bench_engine(
+        "engine_direct_scalar", capacity=4096, ways=1, reference=True
+    )
+    arms["engine_direct_vector"] = bench_engine(
+        "engine_direct_vector", capacity=4096, ways=1, reference=False
+    )
+    arms["machine_ways4_scalar"] = bench_machine(reference=True)
+    arms["machine_ways4_vector"] = bench_machine(reference=False)
+    arms["sim_default_scalar"] = bench_sim(reference=True)
+    arms["sim_default_vector"] = bench_sim(reference=False)
+
+    def ratio(vec, ref):
+        return arms[vec]["epochs_per_s"] / arms[ref]["epochs_per_s"]
+
+    speedups = {
+        # Acceptance number: VectorSetAssoc vs SequentialSetAssoc, ways=4.
+        "engine_ways4": ratio("engine_ways4_vector", "engine_ways4_scalar"),
+        "engine_direct": ratio("engine_direct_vector", "engine_direct_scalar"),
+        "machine_ways4": ratio("machine_ways4_vector", "machine_ways4_scalar"),
+        "sim_default": ratio("sim_default_vector", "sim_default_scalar"),
+    }
+    for name, s in speedups.items():
+        print(f"{name}: {s:.2f}x")
+    return {
+        "generated_unix": time.time(),
+        "cpu_count": os.cpu_count(),
+        "keys_per_epoch": KEYS_PER_EPOCH,
+        "zipf_a": ZIPF_A,
+        "arms": arms,
+        "speedups": speedups,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_sim.json", help="output JSON path")
+    args = parser.parse_args(argv)
+    report = run()
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,7 +13,9 @@ reproduction is to produce the event streams the profilers observe:
 
 Caches are modeled as capacity-equivalent direct-mapped structures by
 default (exactly vectorizable; see ``vecsim``), with an optional exact
-set-associative sequential engine for fidelity studies.
+set-associative LRU engine (``exact_assoc=True``) for fidelity studies.
+Per-CPU private levels are engine *shards* — one dense engine per
+level, so a mixed-CPU batch resolves without per-CPU Python loops.
 """
 
 from __future__ import annotations
@@ -31,7 +33,7 @@ __all__ = ["CacheLevel", "CacheHierarchy", "CacheLevelStats"]
 
 @dataclass
 class CacheLevelStats:
-    """Cumulative per-level event counters."""
+    """Cumulative per-level event counters (summed over CPUs)."""
 
     name: str
     lookups: int = 0
@@ -47,7 +49,12 @@ class CacheLevelStats:
 
 
 class CacheLevel:
-    """One cache level operating on physical line numbers."""
+    """One cache level operating on physical line numbers.
+
+    ``shards > 1`` replicates the level per CPU (private L1/L2):
+    ``access(lines, shard=...)`` routes each access to its CPU's copy
+    in a single vectorized call.
+    """
 
     def __init__(
         self,
@@ -56,27 +63,32 @@ class CacheLevel:
         ways: int = 1,
         *,
         exact_assoc: bool = False,
+        reference: bool = False,
+        shards: int = 1,
     ):
         lines = size_bytes // LINE_SIZE
         cap = 1 << (int(lines).bit_length() - 1)  # round down to pow2
-        self._engine = make_engine(cap, ways, exact_assoc=exact_assoc)
+        self._engine = make_engine(
+            cap, ways, exact_assoc=exact_assoc, reference=reference, shards=shards
+        )
         self.name = name
         self.capacity_lines = cap
+        self.shards = shards
         self.stats = CacheLevelStats(name)
 
-    def access(self, lines: np.ndarray) -> np.ndarray:
+    def access(self, lines: np.ndarray, shard: np.ndarray | None = None) -> np.ndarray:
         """Resolve line accesses in order; return the hit mask."""
-        hits = self._engine.access(np.asarray(lines, dtype=ADDR_DTYPE))
+        hits = self._engine.access(np.asarray(lines, dtype=ADDR_DTYPE), shard=shard)
         self.stats.lookups += int(lines.size)
         self.stats.hits += int(np.count_nonzero(hits))
         return hits
 
-    def fill(self, lines: np.ndarray) -> None:
+    def fill(self, lines: np.ndarray, shard: np.ndarray | None = None) -> None:
         """Install lines brought up from a lower level (no hit accounting)."""
-        self._engine.fill(np.asarray(lines, dtype=ADDR_DTYPE))
+        self._engine.fill(np.asarray(lines, dtype=ADDR_DTYPE), shard=shard)
 
     def flush(self) -> None:
-        """Invalidate the whole level."""
+        """Invalidate the whole level (every CPU's copy)."""
         self._engine.flush()
 
 
@@ -101,19 +113,15 @@ class CacheHierarchy:
         n_cpus: int = 1,
         ways: int = 1,
         exact_assoc: bool = False,
+        reference: bool = False,
     ):
         if n_cpus < 1:
             raise ValueError(f"n_cpus must be >= 1, got {n_cpus}")
         self.n_cpus = n_cpus
-        self.l1 = [
-            CacheLevel(f"L1.{c}", l1_bytes, ways, exact_assoc=exact_assoc)
-            for c in range(n_cpus)
-        ]
-        self.l2 = [
-            CacheLevel(f"L2.{c}", l2_bytes, ways, exact_assoc=exact_assoc)
-            for c in range(n_cpus)
-        ]
-        self._llc = CacheLevel("LLC", llc_bytes, ways, exact_assoc=exact_assoc)
+        kw = dict(ways=ways, exact_assoc=exact_assoc, reference=reference)
+        self.l1 = CacheLevel("L1", l1_bytes, shards=n_cpus, **kw)
+        self.l2 = CacheLevel("L2", l2_bytes, shards=n_cpus, **kw)
+        self._llc = CacheLevel("LLC", llc_bytes, **kw)
 
     @property
     def llc(self) -> CacheLevel:
@@ -122,14 +130,14 @@ class CacheHierarchy:
 
     @property
     def levels(self) -> list[CacheLevel]:
-        """CPU 0's private levels plus the LLC (single-CPU convenience)."""
-        return [self.l1[0], self.l2[0], self._llc]
+        """The three levels, upper first."""
+        return [self.l1, self.l2, self._llc]
 
     def miss_counts(self) -> dict[str, int]:
         """Aggregate miss counts per level across CPUs."""
         return {
-            "l1": sum(c.stats.misses for c in self.l1),
-            "l2": sum(c.stats.misses for c in self.l2),
+            "l1": self.l1.stats.misses,
+            "l2": self.l2.stats.misses,
             "llc": self._llc.stats.misses,
         }
 
@@ -146,38 +154,24 @@ class CacheHierarchy:
         source = np.full(n, np.uint8(DataSource.MEMORY), dtype=np.uint8)
         if n == 0:
             return source
-        if cpus is None or self.n_cpus == 1:
-            cpu_ids = [0]
-            groups = [np.arange(n, dtype=np.intp)]
-        else:
-            folded = np.asarray(cpus) % self.n_cpus
-            cpu_ids = [int(c) for c in np.unique(folded)]
-            groups = [np.flatnonzero(folded == c) for c in cpu_ids]
+        shard = None
+        if cpus is not None and self.n_cpus > 1:
+            shard = np.asarray(cpus).astype(np.intp) % self.n_cpus
 
-        llc_pending: list[np.ndarray] = []
-        for cpu, idx in zip(cpu_ids, groups):
-            hits1 = self.l1[cpu].access(lines[idx])
-            source[idx[hits1]] = np.uint8(DataSource.L1)
-            rem = idx[~hits1]
-            if rem.size == 0:
-                continue
-            hits2 = self.l2[cpu].access(lines[rem])
+        hits1 = self.l1.access(lines, shard)
+        source[hits1] = np.uint8(DataSource.L1)
+        rem = np.flatnonzero(~hits1)  # ascending == program order
+        if rem.size:
+            hits2 = self.l2.access(lines[rem], None if shard is None else shard[rem])
             source[rem[hits2]] = np.uint8(DataSource.L2)
             rem = rem[~hits2]
-            if rem.size:
-                llc_pending.append(rem)
-
-        if llc_pending:
-            # Restore global program order for the shared level.
-            pend = np.sort(np.concatenate(llc_pending))
-            hits3 = self._llc.access(lines[pend])
-            source[pend[hits3]] = np.uint8(DataSource.LLC)
+        if rem.size:
+            hits3 = self._llc.access(lines[rem])
+            source[rem[hits3]] = np.uint8(DataSource.LLC)
         return source
 
     def flush(self) -> None:
         """Invalidate every cache on every CPU."""
-        for c in self.l1:
-            c.flush()
-        for c in self.l2:
-            c.flush()
+        self.l1.flush()
+        self.l2.flush()
         self._llc.flush()

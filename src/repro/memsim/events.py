@@ -71,7 +71,20 @@ class AccessBatch:
         return int(self.vaddr.size)
 
     def take(self, idx) -> "AccessBatch":
-        """Return a sub-batch at positions ``idx`` (order preserved)."""
+        """Return a sub-batch at positions ``idx`` (order preserved).
+
+        A ``slice`` index returns zero-copy column views (the columns
+        are already validated contiguous arrays, so re-validation would
+        only force copies); epoch slicing leans on this.
+        """
+        if isinstance(idx, slice):
+            sub = object.__new__(AccessBatch)
+            sub.vaddr = self.vaddr[idx]
+            sub.is_store = self.is_store[idx]
+            sub.pid = self.pid[idx]
+            sub.cpu = self.cpu[idx]
+            sub.ip = self.ip[idx]
+            return sub
         return AccessBatch(
             vaddr=self.vaddr[idx],
             is_store=self.is_store[idx],

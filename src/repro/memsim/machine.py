@@ -46,6 +46,34 @@ from .tlb import TLBArray
 __all__ = ["MachineConfig", "Machine", "BatchResult"]
 
 
+def _pid_groups(pid_arr: np.ndarray) -> list[tuple[int, slice | np.ndarray]]:
+    """Group batch indices by PID with one stable sort (no per-PID scans).
+
+    Returns ``(pid, index)`` pairs where ``index`` is ``slice(None)``
+    for the common single-PID batch (zero-copy) or a program-ordered
+    fancy index otherwise.  Groups come out in ascending-PID order,
+    matching the previous ``np.unique``-driven iteration.
+    """
+    if pid_arr[0] == pid_arr[-1] and (pid_arr == pid_arr[0]).all():
+        return [(int(pid_arr[0]), slice(None))]
+    order = np.argsort(pid_arr, kind="stable")
+    sorted_pids = pid_arr[order]
+    starts = np.flatnonzero(
+        np.concatenate(([True], sorted_pids[1:] != sorted_pids[:-1]))
+    )
+    ends = np.append(starts[1:], pid_arr.size)
+    return [
+        (int(sorted_pids[s]), order[s:e]) for s, e in zip(starts, ends)
+    ]
+
+
+def _subset(idx: slice | np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Indices of ``mask`` restricted to a group's index, program order."""
+    if isinstance(idx, slice):
+        return np.flatnonzero(mask)
+    return idx[mask[idx]]
+
+
 @dataclass
 class MachineConfig:
     """Tunable parameters of the simulated machine."""
@@ -60,8 +88,10 @@ class MachineConfig:
     l2_bytes: int = 512 * 1024
     llc_bytes: int = 32 * 1024 * 1024
     cache_ways: int = 1
-    #: Use the exact sequential set-associative engines (slow; tests only).
+    #: Use the exact set-associative LRU engines (vectorized).
     exact_assoc: bool = False
+    #: Use the scalar golden-reference engines (slow; equivalence tests).
+    assoc_reference: bool = False
     n_cpus: int = 6
     #: Simulated memory-access throughput, accesses/second.  Converts op
     #: counts to wall-clock for scan scheduling and overhead accounting.
@@ -190,6 +220,7 @@ class Machine:
             entries=c.tlb_entries,
             ways=c.tlb_ways,
             exact_assoc=c.exact_assoc,
+            reference=c.assoc_reference,
         )
         self.caches = CacheHierarchy(
             c.l1_bytes,
@@ -198,6 +229,7 @@ class Machine:
             n_cpus=c.n_cpus,
             ways=c.cache_ways,
             exact_assoc=c.exact_assoc,
+            reference=c.assoc_reference,
         )
         self.ptw = PageTableWalker()
         self.pmu = PMU(n_counters=c.pmu_counters)
@@ -298,38 +330,34 @@ class Machine:
         pfn = np.empty(n, dtype=ADDR_DTYPE)
         slot = np.empty(n, dtype=np.int64)
         tlb_vpn = np.empty(n, dtype=ADDR_DTYPE)
-        pids = np.unique(batch.pid)
-        pid_masks = {}
-        for pid in pids:
-            m = batch.pid == pid
-            pid_masks[int(pid)] = m
-            pt = self.page_tables.get(int(pid))
+        groups = _pid_groups(batch.pid)
+        for pid, idx in groups:
+            pt = self.page_tables.get(pid)
             if pt is None:
                 from .page_table import TranslationFault
 
-                raise TranslationFault(int(pid), np.unique(vpns[m]))
-            pfn[m], slot[m], tlb_vpn[m] = pt.translate_ex(vpns[m])
+                raise TranslationFault(pid, np.unique(vpns[idx]))
+            pfn[idx], slot[idx], tlb_vpn[idx] = pt.translate_ex(vpns[idx])
 
         # 2. Per-CPU TLB lookup (misses install their fill).
         tlb_hit = self.tlb.access(batch.pid, tlb_vpn, batch.cpu)
         miss = ~tlb_hit
 
         # 3. Page-table walks on misses: A bits, poison faults.
-        for pid, m in pid_masks.items():
-            pt = self.page_tables[pid]
-            mm = m & miss
-            if not mm.any():
+        for pid, idx in groups:
+            mm = _subset(idx, miss)
+            if mm.size == 0:
                 continue
-            miss_slots = slot[mm]
-            poisoned = self.ptw.fill_walks(pt, miss_slots)
+            pt = self.page_tables[pid]
+            poisoned = self.ptw.fill_walks(pt, slot[mm])
             if poisoned.any():
                 self.badgertrap.handle_faults(pfn[mm][poisoned])
 
         # 4. Dirty bits on stores (TLB-independent; see ptw docstring).
         if batch.is_store.any():
-            for pid, m in pid_masks.items():
-                ms = m & batch.is_store
-                if not ms.any():
+            for pid, idx in groups:
+                ms = _subset(idx, batch.is_store)
+                if ms.size == 0:
                     continue
                 pt = self.page_tables[pid]
                 newly_dirty = self.ptw.dirty_updates(pt, slot[ms])

@@ -12,11 +12,17 @@ provides.
 Entries are tagged ``(pid, vpn)`` (PID plays the role of the ASID), so
 no flush is needed on simulated context switches and per-PID shootdowns
 are possible.
+
+Per-CPU privacy is modeled with engine *shards* rather than per-CPU
+Python objects: :class:`TLBArray` owns one engine whose set space is
+replicated per CPU, so a mixed-CPU batch resolves in a single
+vectorized call with no per-CPU loop, while shootdowns broadcast to
+every shard exactly as IPI rounds hit every core.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -34,6 +40,15 @@ def _keys(pids: np.ndarray, vpns: np.ndarray) -> np.ndarray:
     return (pids.astype(ADDR_DTYPE) << _PID_SHIFT) | (
         vpns.astype(ADDR_DTYPE) & _VPN_MASK
     )
+
+
+def _pow2_floor(entries: int) -> int:
+    """Round ``entries`` down to a power of two.
+
+    Lets capacity-equivalent configs (e.g. the Ryzen 3600X's 64 +
+    2048-entry L1/L2 dTLBs) be requested loosely.
+    """
+    return 1 << (int(entries).bit_length() - 1)
 
 
 @dataclass
@@ -64,8 +79,9 @@ class TLB:
         Total capacity in translations (power of two).
     ways:
         Associativity; the default direct-mapped engine is exact and
-        vectorized, ``exact_assoc=True`` selects the sequential
-        LRU reference engine.
+        vectorized, ``exact_assoc=True`` selects the exact vectorized
+        set-associative LRU engine, and ``reference=True`` the scalar
+        golden reference.
     n_cpus:
         Used only for shootdown IPI accounting (one IPI per remote CPU
         per shootdown, as on x86).
@@ -77,15 +93,13 @@ class TLB:
         ways: int = 1,
         *,
         exact_assoc: bool = False,
+        reference: bool = False,
         n_cpus: int = 6,
     ):
-        # Round down to a power of two so capacity-equivalent configs
-        # (e.g. the Ryzen 3600X's 64 + 2048-entry L1/L2 dTLBs) can be
-        # requested loosely.
-        cap = 1 << (int(entries).bit_length() - 1)
-        if cap != entries:
-            entries = cap
-        self._engine = make_engine(entries, ways, exact_assoc=exact_assoc)
+        entries = _pow2_floor(entries)
+        self._engine = make_engine(
+            entries, ways, exact_assoc=exact_assoc, reference=reference
+        )
         self.entries = entries
         self.n_cpus = n_cpus
         self.stats = TLBStats()
@@ -142,10 +156,12 @@ class TLB:
 class TLBArray:
     """Per-CPU private TLBs, as on every real multicore.
 
-    Lookups are routed to the issuing CPU's TLB; shootdowns broadcast
-    to every TLB (that is precisely why they cost IPIs).  Aggregate
-    statistics are summed over CPUs, with shootdown rounds counted once
-    (one IPI round invalidates on all CPUs).
+    One sharded engine holds every CPU's private set space: lookups
+    carry their CPU as the shard index (one vectorized call for a
+    mixed-CPU batch), and shootdowns broadcast to every shard (that is
+    precisely why they cost IPIs).  Aggregate statistics are summed
+    over CPUs, with shootdown rounds counted once (one IPI round
+    invalidates on all CPUs).
     """
 
     def __init__(
@@ -155,38 +171,37 @@ class TLBArray:
         ways: int = 1,
         *,
         exact_assoc: bool = False,
+        reference: bool = False,
     ):
         if n_cpus < 1:
             raise ValueError(f"n_cpus must be >= 1, got {n_cpus}")
         self.n_cpus = n_cpus
-        self.cpus = [
-            TLB(entries=entries, ways=ways, exact_assoc=exact_assoc, n_cpus=n_cpus)
-            for _ in range(n_cpus)
-        ]
-        self.entries = self.cpus[0].entries
+        self.entries = _pow2_floor(entries)
+        self._engine = make_engine(
+            self.entries,
+            ways,
+            exact_assoc=exact_assoc,
+            reference=reference,
+            shards=n_cpus,
+        )
         self.stats = TLBStats()
+
+    def _fold(self, cpus: np.ndarray) -> np.ndarray:
+        return np.asarray(cpus).astype(np.intp) % self.n_cpus
 
     def access(
         self, pids: np.ndarray, vpns: np.ndarray, cpus: np.ndarray
     ) -> np.ndarray:
-        """Route each access to its CPU's TLB; return the global hit mask."""
-        pids = np.asarray(pids)
-        vpns = np.asarray(vpns)
-        folded = np.asarray(cpus) % self.n_cpus
-        hits = np.empty(vpns.size, dtype=bool)
-        for cpu in np.unique(folded):
-            m = folded == cpu
-            hits[m] = self.cpus[int(cpu)].access(pids[m], vpns[m])
-        self.stats.lookups += int(vpns.size)
+        """Route each access to its CPU's shard; return the global hit mask."""
+        keys = _keys(np.asarray(pids), np.asarray(vpns))
+        hits = self._engine.access(keys, shard=self._fold(cpus))
+        self.stats.lookups += int(keys.size)
         self.stats.hits += int(np.count_nonzero(hits))
         return hits
 
     def contains(self, pids: np.ndarray, vpns: np.ndarray) -> np.ndarray:
         """True where *any* CPU's TLB holds the translation."""
-        out = np.zeros(np.asarray(vpns).size, dtype=bool)
-        for t in self.cpus:
-            out |= t.contains(pids, vpns)
-        return out
+        return self._engine.contains_any(_keys(np.asarray(pids), np.asarray(vpns)))
 
     def _account(self, invalidated: int) -> None:
         self.stats.shootdowns += 1
@@ -195,26 +210,21 @@ class TLBArray:
 
     def shootdown_all(self) -> None:
         """Flush every CPU's TLB (one IPI round)."""
-        n = sum(t.occupancy() for t in self.cpus)
-        for t in self.cpus:
-            t._engine.flush()
+        n = self._engine.occupancy()
+        self._engine.flush()
         self._account(n)
 
     def shootdown_pid(self, pid: int) -> None:
         """Invalidate one PID's translations on every CPU."""
         p = ADDR_DTYPE(pid)
-        n = sum(
-            t._engine.flush_where(lambda tags: (tags >> _PID_SHIFT) == p)
-            for t in self.cpus
-        )
+        n = self._engine.flush_where(lambda tags: (tags >> _PID_SHIFT) == p)
         self._account(n)
 
     def shootdown_pages(self, pids: np.ndarray, vpns: np.ndarray) -> None:
         """Invalidate specific translations everywhere (one IPI round)."""
-        keys = _keys(np.asarray(pids), np.asarray(vpns))
-        n = sum(t._engine.flush_keys(keys) for t in self.cpus)
+        n = self._engine.flush_keys(_keys(np.asarray(pids), np.asarray(vpns)))
         self._account(n)
 
     def occupancy(self) -> int:
         """Live translations summed over CPUs."""
-        return sum(t.occupancy() for t in self.cpus)
+        return self._engine.occupancy()

@@ -249,6 +249,7 @@ class ProfilingSession(SessionBase):
             raise
         except (TypeError, ValueError, AttributeError) as exc:
             raise ServiceError(ErrorCode.BAD_PARAMS, str(exc)) from exc
+        self.sim.obs_label = session_id
         self.daemon = TMPDaemon(self.sim.profiler)
         self.daemon.add_workload(wl)
         self.sim.add_epoch_hook(self._on_epoch)

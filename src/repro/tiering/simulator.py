@@ -19,6 +19,7 @@ Per epoch (≈ one simulated second, the paper's horizon):
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -28,6 +29,7 @@ from ..core.hotness import RankSource, top_k_pages
 from ..core.profiler import TMProfiler
 from ..memsim.machine import Machine, MachineConfig
 from ..workloads.base import Workload
+from ..obs.metrics import default_registry
 from .latency_model import EpochLatency, LatencyModel
 from .migration import PageMover
 from .placement import fcfa_place_new
@@ -164,6 +166,10 @@ class TieredSimulator:
         self._result: SimulationResult | None = None
         self._next_epoch = 0
         self._epoch_hooks: list = []
+        #: Label for this simulator's throughput gauge — the service
+        #: overwrites it with the session id so Prometheus scrapes show
+        #: per-session epoch throughput.
+        self.obs_label = workload.name
 
     # -------------------------------------------------------------- stepping
 
@@ -221,6 +227,7 @@ class TieredSimulator:
         if epochs < 1:
             raise ValueError(f"epochs must be >= 1, got {epochs}")
         out: list[EpochMetrics] = []
+        t0 = time.perf_counter()
         for _ in range(epochs):
             metrics = self._run_epoch(self._next_epoch, self._rng)
             self._result.epochs.append(metrics)
@@ -228,6 +235,13 @@ class TieredSimulator:
             out.append(metrics)
             for hook in self._epoch_hooks:
                 hook(metrics)
+        elapsed = time.perf_counter() - t0
+        if elapsed > 0:
+            default_registry().gauge(
+                "repro_sim_epochs_per_s",
+                "Simulated epochs per wall-clock second, last step() call",
+                labelnames=("session",),
+            ).set(len(out) / elapsed, session=self.obs_label)
         return out
 
     def run(self, epochs: int = 10, init: bool = True) -> SimulationResult:

@@ -36,6 +36,21 @@ class TestAccessBatch:
         sub = b.take([2, 0])
         np.testing.assert_array_equal(sub.vaddr >> 12, [30, 10])
 
+    def test_take_slice_is_zero_copy(self):
+        b = AccessBatch.from_pages([10, 20, 30, 40], pid=3, cpu=1, is_store=True)
+        sub = b.take(slice(1, 3))
+        assert sub.n == 2
+        np.testing.assert_array_equal(sub.vaddr >> 12, [20, 30])
+        for col in ("vaddr", "is_store", "pid", "cpu", "ip"):
+            assert np.shares_memory(getattr(sub, col), getattr(b, col)), col
+        np.testing.assert_array_equal(sub.pid, [3, 3])
+        assert sub.is_store.all()
+
+    def test_take_fancy_index_copies(self):
+        b = AccessBatch.from_pages([10, 20, 30])
+        sub = b.take(np.array([0, 2]))
+        assert not np.shares_memory(sub.vaddr, b.vaddr)
+
     def test_concat(self):
         a = AccessBatch.from_pages([1], pid=1)
         b = AccessBatch.from_pages([2, 3], pid=2)

@@ -13,6 +13,7 @@ from hypothesis import strategies as st
 from repro.memsim.vecsim import (
     SequentialSetAssoc,
     VectorDirectMapped,
+    VectorSetAssoc,
     make_engine,
 )
 
@@ -145,9 +146,18 @@ class TestMakeEngine:
 
     def test_exact_assoc(self):
         e = make_engine(64, ways=4, exact_assoc=True)
+        assert isinstance(e, VectorSetAssoc)
+        assert e.capacity == 64
+        assert e.ways == 4
+
+    def test_reference_engines(self):
+        e = make_engine(64, ways=4, exact_assoc=True, reference=True)
         assert isinstance(e, SequentialSetAssoc)
         assert e.capacity == 64
         assert e.ways == 4
+        e = make_engine(64, reference=True)
+        assert isinstance(e, SequentialSetAssoc)
+        assert e.ways == 1
 
     def test_rejects_bad_capacity(self):
         with pytest.raises(ValueError):

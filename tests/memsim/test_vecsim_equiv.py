@@ -1,0 +1,223 @@
+"""Randomized cross-checks: vectorized engines ≡ the scalar reference.
+
+``SequentialSetAssoc`` is the golden reference — per-set MRU-ordered
+lists, one Python step per access, trivially auditable.  Every test
+here drives a vectorized engine and the reference through identical
+operation sequences and asserts bit-identical observable state: hit
+masks, flush counts, ``contains``/``contains_any`` masks, occupancy.
+
+Coverage axes:
+
+* geometry — ``nsets`` x ``ways`` x ``shards``, down to the degenerate
+  one-set engine (pure LRU) where the rounds loop's scalar tail does
+  all the work;
+* operation mix — interleaved ``access``/``fill``/``flush_keys``/
+  ``flush_where``/``contains``/``flush``, including eviction-heavy
+  traces (universe >> capacity) and shootdown-heavy mixes;
+* machine level — whole ``Machine``/``TieredSimulator`` runs with
+  vectorized vs ``assoc_reference=True`` engines must yield identical
+  per-access outcomes and ``EpochMetrics``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.memsim.vecsim import (
+    SequentialSetAssoc,
+    VectorDirectMapped,
+    VectorSetAssoc,
+)
+
+SEEDS = range(6)
+GEOMETRIES = [(1, 2, 1), (1, 4, 1), (2, 1, 1), (8, 4, 1), (8, 2, 6), (64, 4, 2)]
+
+
+def _drive(vec, seq, rng, universe, *, flush_weight=1, steps=8, batch_max=300):
+    """Interleave random operations, asserting equivalence after each."""
+    ops = ["access", "access", "fill", "contains"] + [
+        "flush_keys",
+        "flush_where",
+        "flush_all",
+    ] * flush_weight
+    shards = vec.shards
+    for step in range(steps):
+        op = ops[int(rng.integers(0, len(ops)))]
+        n = int(rng.integers(0, batch_max))
+        keys = rng.integers(0, universe, n).astype(np.uint64)
+        shard = rng.integers(0, shards, n) if shards > 1 else None
+        if op == "access":
+            np.testing.assert_array_equal(
+                vec.access(keys, shard), seq.access(keys, shard), err_msg=f"step {step}"
+            )
+        elif op == "fill":
+            vec.fill(keys, shard)
+            seq.fill(keys, shard)
+        elif op == "contains":
+            np.testing.assert_array_equal(
+                vec.contains(keys, shard), seq.contains(keys, shard)
+            )
+            np.testing.assert_array_equal(
+                vec.contains_any(keys), seq.contains_any(keys)
+            )
+        elif op == "flush_keys":
+            fk = rng.integers(0, universe, int(rng.integers(0, 24))).astype(np.uint64)
+            assert vec.flush_keys(fk) == seq.flush_keys(fk)
+        elif op == "flush_where":
+            t = np.uint64(rng.integers(0, universe))
+            assert vec.flush_where(lambda x: x >= t) == seq.flush_where(
+                lambda x: x >= t
+            )
+        else:
+            vec.flush()
+            seq.flush()
+        assert vec.occupancy() == seq.occupancy(), f"step {step}"
+
+
+class TestSetAssocEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("nsets,ways,shards", GEOMETRIES)
+    def test_interleaved_ops(self, nsets, ways, shards, seed):
+        rng = np.random.default_rng(seed * 1000 + nsets * 10 + ways)
+        vec = VectorSetAssoc(nsets, ways, shards)
+        seq = SequentialSetAssoc(nsets, ways, shards)
+        universe = int(rng.integers(2, 6 * nsets * ways + 2))
+        _drive(vec, seq, rng, universe)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_eviction_heavy(self, seed):
+        # Universe 16x capacity: nearly every access evicts.
+        rng = np.random.default_rng(seed)
+        vec = VectorSetAssoc(8, 4)
+        seq = SequentialSetAssoc(8, 4)
+        for _ in range(6):
+            keys = rng.integers(0, 512, 400).astype(np.uint64)
+            np.testing.assert_array_equal(vec.access(keys), seq.access(keys))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_shootdown_heavy(self, seed):
+        rng = np.random.default_rng(seed + 100)
+        vec = VectorSetAssoc(8, 2, shards=4)
+        seq = SequentialSetAssoc(8, 2, shards=4)
+        _drive(vec, seq, rng, universe=64, flush_weight=4, steps=12)
+
+    @pytest.mark.parametrize("ways", [1, 2, 4, 8])
+    def test_single_set_alternation(self, ways):
+        # One set, keys cycling just past capacity: worst-case LRU churn
+        # resolved almost entirely by the scalar-tail path.
+        rng = np.random.default_rng(ways)
+        vec = VectorSetAssoc(1, ways)
+        seq = SequentialSetAssoc(1, ways)
+        keys = rng.integers(0, ways + 2, 5000).astype(np.uint64)
+        np.testing.assert_array_equal(vec.access(keys), seq.access(keys))
+        keys = np.arange(5000, dtype=np.uint64) % (ways + 1)  # strict cycle
+        np.testing.assert_array_equal(vec.access(keys), seq.access(keys))
+
+    def test_repeat_runs_collapse_to_hits(self):
+        # Adjacent same-key repeats are hits and advance recency: after
+        # [a a a b], a must be MRU-ranked above nothing but b.
+        vec = VectorSetAssoc(1, 2)
+        seq = SequentialSetAssoc(1, 2)
+        trace = np.array([5, 5, 5, 9, 5, 7, 9], dtype=np.uint64)
+        np.testing.assert_array_equal(vec.access(trace), seq.access(trace))
+
+    def test_state_carries_across_batches(self):
+        rng = np.random.default_rng(0)
+        vec = VectorSetAssoc(4, 2)
+        seq = SequentialSetAssoc(4, 2)
+        for _ in range(10):
+            keys = rng.integers(0, 32, int(rng.integers(0, 50))).astype(np.uint64)
+            np.testing.assert_array_equal(vec.access(keys), seq.access(keys))
+
+
+class TestDirectMappedEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("shards", [1, 3, 6])
+    def test_interleaved_ops(self, shards, seed):
+        rng = np.random.default_rng(seed * 31 + shards)
+        vec = VectorDirectMapped(16, shards=shards)
+        seq = SequentialSetAssoc(16, 1, shards=shards)
+        _drive(vec, seq, rng, universe=80)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_vector_set_assoc_ways1_matches_direct_mapped(self, seed):
+        # ways=1 set-assoc degenerates to direct-mapped exactly.
+        rng = np.random.default_rng(seed)
+        a = VectorSetAssoc(16, 1)
+        b = VectorDirectMapped(16)
+        for _ in range(5):
+            keys = rng.integers(0, 64, int(rng.integers(0, 200))).astype(np.uint64)
+            np.testing.assert_array_equal(a.access(keys), b.access(keys))
+        assert a.occupancy() == b.occupancy()
+
+
+class TestMachineLevelEquivalence:
+    """The whole pipeline, vectorized vs golden-reference engines."""
+
+    def _run_pair(self, **config_kw):
+        from repro.memsim import AccessBatch, Machine, MachineConfig
+
+        results = []
+        for reference in (False, True):
+            cfg = MachineConfig.scaled(assoc_reference=reference, **config_kw)
+            m = Machine(cfg)
+            vma = m.mmap(1, 512)
+            rng = np.random.default_rng(0)
+            outs = []
+            for _ in range(3):
+                n = 4000
+                batch = AccessBatch.from_pages(
+                    rng.choice(vma.vpns, n),
+                    pid=1,
+                    cpu=rng.integers(0, cfg.n_cpus, n).astype(np.int16),
+                    is_store=rng.random(n) < 0.3,
+                    offset=(rng.integers(0, 64, n) << 6).astype(np.uint64),
+                )
+                outs.append(m.run_batch(batch))
+            results.append((m, outs))
+        return results
+
+    @pytest.mark.parametrize(
+        "config_kw",
+        [
+            {},  # default direct-mapped
+            {"exact_assoc": True, "tlb_ways": 4, "cache_ways": 4},
+            {"exact_assoc": True, "tlb_ways": 8, "cache_ways": 2},
+        ],
+        ids=["direct", "ways4", "mixed"],
+    )
+    def test_run_batch_bit_identical(self, config_kw):
+        (m_vec, out_vec), (m_ref, out_ref) = self._run_pair(**config_kw)
+        for rv, rr in zip(out_vec, out_ref):
+            np.testing.assert_array_equal(rv.tlb_hit, rr.tlb_hit)
+            np.testing.assert_array_equal(rv.data_source, rr.data_source)
+            np.testing.assert_array_equal(rv.pfn, rr.pfn)
+            assert rv.raw_events == rr.raw_events
+            assert rv.cycles == rr.cycles
+        assert m_vec.tlb.stats == m_ref.tlb.stats
+        assert m_vec.caches.miss_counts() == m_ref.caches.miss_counts()
+
+    @pytest.mark.parametrize("exact", [False, True], ids=["direct", "ways4"])
+    def test_simulator_epoch_metrics_identical(self, exact):
+        from repro.memsim import MachineConfig
+        from repro.tiering import TieredSimulator
+        from repro.tiering.policies import POLICIES
+        from repro.workloads import make_workload
+
+        results = []
+        for reference in (False, True):
+            kw = {"exact_assoc": True, "tlb_ways": 4, "cache_ways": 4} if exact else {}
+            sim = TieredSimulator(
+                make_workload("gups", footprint_pages=512, accesses_per_epoch=4000),
+                POLICIES["history"](),
+                machine_config=MachineConfig.scaled(
+                    ibs_period=64, assoc_reference=reference, **kw
+                ),
+                seed=3,
+            )
+            sim.start()
+            sim.step(3)
+            results.append(sim.result)
+        vec, ref = results
+        assert len(vec.epochs) == len(ref.epochs)
+        for ev, er in zip(vec.epochs, ref.epochs):
+            assert ev == er
