@@ -10,7 +10,8 @@ A second scenario measures observability cost: the same stepped run
 with ``repro.obs`` metrics enabled vs. disabled, recorded as
 ``metrics_overhead`` (fractional slowdown of the min-of-N CPU-time
 floor, so scheduler noise doesn't masquerade as instrumentation
-cost).
+cost).  A third applies the same estimator to the telemetry ledger
+(``--ledger-dir`` on vs. off), recorded as ``ledger_overhead``.
 
 Usage::
 
@@ -27,8 +28,10 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import shutil
 import statistics
 import sys
+import tempfile
 import threading
 import time
 
@@ -48,6 +51,7 @@ def run_scenario(
     sessions: int = DEFAULT_SESSIONS,
     epochs: int = DEFAULT_EPOCHS,
     chunk: int = STEP_CHUNK,
+    ledger_dir: str | None = None,
 ) -> dict:
     """Step ``sessions`` concurrent sessions; return the timing record.
 
@@ -65,6 +69,7 @@ def run_scenario(
         max_sessions=sessions,
         step_workers=sessions,
         reap_interval_s=0,
+        ledger_dir=ledger_dir,
     ) as srv:
 
         def drive(seed: int) -> None:
@@ -178,6 +183,59 @@ def run_metrics_overhead(
     }
 
 
+def run_ledger_overhead(
+    sessions: int = DEFAULT_SESSIONS,
+    epochs: int = DEFAULT_EPOCHS,
+    repeats: int = 8,
+) -> dict:
+    """Fractional step-throughput cost of the durable telemetry ledger.
+
+    Same noise-resistant design as :func:`run_metrics_overhead`: both
+    arms run in-process, two discarded warmups, ``repeats`` interleaved
+    pairs with alternating within-pair order, each arm scored by its
+    min CPU time, and the reported fraction is the min of the floor
+    ratio and the median per-pair ratio.  The ledgered arm appends
+    every epoch frame to a fresh directory under the default
+    ``fsync="rotate"`` policy — the configuration ``repro serve
+    --ledger-dir`` ships.
+    """
+    records = {False: [], True: []}
+    run_scenario(0, sessions=sessions, epochs=epochs)
+    run_scenario(0, sessions=sessions, epochs=epochs)
+    for i in range(repeats):
+        order = (False, True) if i % 2 == 0 else (True, False)
+        for ledgered in order:
+            tmp = tempfile.mkdtemp(prefix="bench-ledger-") if ledgered else None
+            try:
+                records[ledgered].append(
+                    run_scenario(
+                        0, sessions=sessions, epochs=epochs, ledger_dir=tmp
+                    )
+                )
+            finally:
+                if tmp is not None:
+                    shutil.rmtree(tmp, ignore_errors=True)
+    off_cpu = min(r["cpu_s"] for r in records[False])
+    on_cpu = min(r["cpu_s"] for r in records[True])
+    floor_fraction = on_cpu / off_cpu - 1.0
+    pair_fraction = statistics.median(
+        on["cpu_s"] / off["cpu_s"]
+        for on, off in zip(records[True], records[False])
+    ) - 1.0
+    return {
+        "sessions": sessions,
+        "epochs_per_session": epochs,
+        "repeats": repeats,
+        "off_cpu_s": off_cpu,
+        "on_cpu_s": on_cpu,
+        "off_wall_s": min(r["wall_s"] for r in records[False]),
+        "on_wall_s": min(r["wall_s"] for r in records[True]),
+        "floor_fraction": floor_fraction,
+        "pair_fraction": pair_fraction,
+        "overhead_fraction": min(floor_fraction, pair_fraction),
+    }
+
+
 def run_ipc_amortization(
     workers: int = 4,
     sessions: int = DEFAULT_SESSIONS,
@@ -211,6 +269,7 @@ def run(
     sessions=DEFAULT_SESSIONS,
     epochs=DEFAULT_EPOCHS,
     include_ipc=False,
+    include_ledger=False,
 ) -> dict:
     scenarios = []
     for workers in workers_list:
@@ -243,6 +302,16 @@ def run(
         "speedup": speedup,
         "metrics_overhead": overhead,
     }
+    if include_ledger:
+        ledger = run_ledger_overhead(sessions=sessions, epochs=epochs)
+        print(
+            "ledger overhead: {:.2%} (cpu {:.2f}s on vs {:.2f}s off)".format(
+                ledger["overhead_fraction"],
+                ledger["on_cpu_s"],
+                ledger["off_cpu_s"],
+            )
+        )
+        report["ledger_overhead"] = ledger
     if include_ipc:
         pool_workers = max(workers_list) or 4
         ipc = run_ipc_amortization(
@@ -276,6 +345,7 @@ def main(argv=None) -> int:
         sessions=args.sessions,
         epochs=args.epochs,
         include_ipc=True,
+        include_ledger=True,
     )
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2)

@@ -163,6 +163,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--log-json", action="store_true",
         help="emit structured JSON logs on stderr (also $REPRO_LOG_JSON)",
     )
+    p.add_argument(
+        "--ledger-dir", default=None, metavar="DIR",
+        help="durable telemetry ledger root: frames persist per session, "
+        "subscribe(from_seq=...) replays history, and crashed worker "
+        "sessions are recovered (default: $REPRO_LEDGER_DIR or disabled)",
+    )
+    p.add_argument(
+        "--ledger-fsync", choices=("always", "rotate", "never"),
+        default="rotate",
+        help="ledger durability: fsync every append, only on segment "
+        "rotation (default), or never",
+    )
+    p.add_argument(
+        "--ledger-retention-bytes", type=_positive_int, default=None,
+        metavar="N",
+        help="compact each session's oldest sealed segments above this size",
+    )
+
+    p = sub.add_parser(
+        "ledger", help="inspect a service telemetry ledger (docs/service.md)"
+    )
+    lsub = p.add_subparsers(dest="ledger_command", required=True)
+    lp = lsub.add_parser("list", help="list recorded sessions under a root")
+    lp.add_argument("dir", help="ledger root (what serve --ledger-dir got)")
+    lp = lsub.add_parser("cat", help="print one session's records, JSONL")
+    lp.add_argument("dir", help="ledger root")
+    lp.add_argument("session", help="session id (see `repro ledger list`)")
+    lp.add_argument(
+        "--from-seq", type=_nonnegative_int, default=0, metavar="N",
+        help="first seq to print",
+    )
+    lp.add_argument(
+        "--to-seq", type=_nonnegative_int, default=None, metavar="N",
+        help="stop before this seq",
+    )
+    lp = lsub.add_parser(
+        "replay", help="rebuild and summarize the session's SimulationResult"
+    )
+    lp.add_argument("dir", help="ledger root")
+    lp.add_argument("session", help="session id (see `repro ledger list`)")
     return parser
 
 
@@ -218,6 +258,7 @@ def main(argv=None) -> int:
         "record": _cmd_record,
         "evaluate": _cmd_evaluate,
         "serve": _cmd_serve,
+        "ledger": _cmd_ledger,
     }[args.command]
     return handler(args)
 
@@ -530,6 +571,7 @@ def _cmd_serve(args) -> int:
     metrics_port = args.metrics_port
     if metrics_port is None and os.environ.get("REPRO_METRICS_PORT"):
         metrics_port = int(os.environ["REPRO_METRICS_PORT"])
+    ledger_dir = args.ledger_dir or os.environ.get("REPRO_LEDGER_DIR") or None
 
     async def _serve() -> None:
         server = ServiceServer(
@@ -541,6 +583,9 @@ def _cmd_serve(args) -> int:
             step_workers=args.step_workers,
             workers=args.workers,
             metrics_port=metrics_port,
+            ledger_dir=ledger_dir,
+            ledger_fsync=args.ledger_fsync,
+            ledger_retention_bytes=args.ledger_retention_bytes,
         )
         await server.start()
         if isinstance(server.address, tuple):
@@ -558,11 +603,62 @@ def _cmd_serve(args) -> int:
                 "metrics at http://{}:{}/metrics".format(*server.metrics_address),
                 flush=True,
             )
+        if ledger_dir:
+            print(
+                f"telemetry ledger at {ledger_dir} "
+                f"(fsync={args.ledger_fsync})",
+                flush=True,
+            )
         await server.serve_forever()
         print("repro service drained, exiting", flush=True)
 
     asyncio.run(_serve())
     return 0
+
+
+def _cmd_ledger(args) -> int:
+    import json
+
+    from .ledger import Ledger, replay_result
+
+    ledger = Ledger(args.dir)
+    if args.ledger_command == "list":
+        sessions = ledger.list_sessions()
+        if not sessions:
+            print(f"no session ledgers under {args.dir}")
+            return 0
+        for entry in sessions:
+            key = entry.get("config_key") or ""
+            print(
+                f"{entry['session']}: workload={entry['workload']} "
+                f"epochs={entry['epochs']} seq=[{entry['first_seq']}, "
+                f"{entry['next_seq']}) segments={entry['segments']} "
+                f"bytes={entry['bytes']} key={key[:12]}"
+            )
+        return 0
+    try:
+        session_ledger = ledger.open_session(args.session)
+    except FileNotFoundError as exc:
+        raise SystemExit(str(exc)) from exc
+    try:
+        if args.ledger_command == "cat":
+            for record in session_ledger.read(args.from_seq, args.to_seq):
+                print(json.dumps(record, separators=(",", ":")))
+            return 0
+        result = replay_result(
+            session_ledger, meta=ledger.load_meta(args.session)
+        )
+        print(
+            f"{result.workload} / {result.policy} / {result.rank_source} "
+            f"@ tier1={result.tier1_ratio:.4g}: "
+            f"epochs={len(result.epochs)} "
+            f"hitrate={result.mean_hitrate:.3f} "
+            f"migrations={result.total_migrations} "
+            f"runtime={result.total_runtime_s:.2f}s"
+        )
+        return 0
+    finally:
+        session_ledger.close()
 
 
 if __name__ == "__main__":

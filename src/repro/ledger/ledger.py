@@ -1,0 +1,164 @@
+"""The ledger root: a directory of session ledgers plus provenance.
+
+One :class:`Ledger` owns ``<root>/<session_id>/`` directories, each a
+:class:`~repro.ledger.storage.SessionLedger` with a ``meta.json``
+recording the exact session-creation config and its content-addressed
+:func:`config_key` — the same canonical-JSON/SHA-256 discipline as the
+recorded-run cache, so provenance survives the server process and a
+recovered session can prove it was rebuilt from the right recipe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from pathlib import Path
+
+from ..ioutil import atomic_write_bytes
+from .storage import DEFAULT_SEGMENT_BYTES, LEDGER_FORMAT_VERSION, SessionLedger
+
+__all__ = ["Ledger", "config_key"]
+
+
+def _canonical(obj):
+    """JSON-encodable deterministic form (loud on anything exotic)."""
+    if isinstance(obj, dict):
+        return {str(k): _canonical(obj[k]) for k in sorted(obj, key=str)}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    tolist = getattr(obj, "tolist", None)
+    if callable(tolist):  # numpy scalars/arrays
+        return tolist()
+    if obj is None or isinstance(obj, (str, int, float, bool)):
+        return obj
+    raise TypeError(
+        f"cannot build a stable ledger key from {type(obj).__name__!s}: "
+        "session params must be JSON-like values"
+    )
+
+
+def config_key(config: dict) -> str:
+    """Content hash of a session-creation config (provenance key)."""
+    payload = {
+        "ledger_format": LEDGER_FORMAT_VERSION,
+        "config": _canonical(config),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class Ledger:
+    """Directory of per-session ledgers sharing one durability policy."""
+
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        fsync: str = "rotate",
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        retention_bytes: int | None = None,
+        retention_age_s: float | None = None,
+    ):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
+        self.segment_bytes = int(segment_bytes)
+        self.retention_bytes = retention_bytes
+        self.retention_age_s = retention_age_s
+
+    # ------------------------------------------------------------ sessions
+
+    def session_dir(self, session_id: str) -> Path:
+        return self.root / str(session_id)
+
+    def _make(self, directory: Path) -> SessionLedger:
+        return SessionLedger(
+            directory,
+            fsync=self.fsync,
+            segment_bytes=self.segment_bytes,
+            retention_bytes=self.retention_bytes,
+            retention_age_s=self.retention_age_s,
+        )
+
+    def create_session(
+        self, session_id: str, config: dict, info: dict | None = None
+    ) -> SessionLedger:
+        """Open a *fresh* ledger for ``session_id``, recording its config.
+
+        ``config`` is the exact ``create_session`` params (the recipe a
+        recovery re-runs); ``info`` is optional derived context (e.g.
+        ``tier1_capacity``) kept for offline replay summaries.
+
+        Session ids restart at ``s1`` across server launches, so a
+        leftover directory from a previous run is archived aside
+        (``<id>.<stamp>``) rather than appended to — seq numbering
+        must stay continuous within exactly one session life.
+        """
+        directory = self.session_dir(session_id)
+        if directory.exists():
+            stamp = int(time.time() * 1000)
+            directory.rename(directory.with_name(f"{session_id}.{stamp}"))
+        directory.mkdir(parents=True)
+        meta = {
+            "format": LEDGER_FORMAT_VERSION,
+            "session": str(session_id),
+            "config": _canonical(config),
+            "config_key": config_key(config),
+            "info": _canonical(info or {}),
+            "created_unix": time.time(),
+        }
+        atomic_write_bytes(
+            directory / "meta.json",
+            json.dumps(meta, indent=2, sort_keys=True).encode(),
+            durable=self.fsync != "never",
+        )
+        return self._make(directory)
+
+    def open_session(self, session_id: str) -> SessionLedger:
+        """Attach to an existing session ledger (recovery/replay path)."""
+        directory = self.session_dir(session_id)
+        if not directory.is_dir():
+            raise FileNotFoundError(f"no ledger for session {session_id!r}")
+        return self._make(directory)
+
+    def load_meta(self, session_id: str) -> dict | None:
+        """The recorded creation config, or None when absent/corrupt."""
+        try:
+            meta = json.loads(
+                (self.session_dir(session_id) / "meta.json").read_text()
+            )
+        except (OSError, ValueError):
+            return None
+        if not isinstance(meta, dict) or "config" not in meta:
+            return None
+        return meta
+
+    def list_sessions(self) -> list[dict]:
+        """Every session ledger under the root, with summary stats."""
+        out = []
+        for directory in sorted(self.root.iterdir()):
+            if not directory.is_dir():
+                continue
+            meta = self.load_meta(directory.name)
+            if meta is None:
+                continue
+            ledger = self._make(directory)
+            try:
+                stats = ledger.stats()
+            finally:
+                ledger.close()
+            out.append(
+                {
+                    "session": directory.name,
+                    "workload": meta["config"].get("workload"),
+                    "config_key": meta.get("config_key"),
+                    "created_unix": meta.get("created_unix"),
+                    **{
+                        k: stats[k]
+                        for k in ("segments", "bytes", "first_seq",
+                                  "next_seq", "epochs")
+                    },
+                }
+            )
+        return out

@@ -1,0 +1,48 @@
+"""Offline replay: ledger records → simulation results.
+
+The per-epoch record payloads are exactly the wire-contract dicts of
+:mod:`repro.service.telemetry`, so a full ledger replays into the same
+:class:`~repro.tiering.simulator.SimulationResult` an uncrashed
+in-process run would have produced — `repro ledger replay` and the
+bit-identity tests both go through here.
+"""
+
+from __future__ import annotations
+
+from ..tiering.simulator import SimulationResult
+
+__all__ = ["iter_epoch_dicts", "replay_result"]
+
+
+def iter_epoch_dicts(records):
+    """The ``data`` payloads of the ``epoch`` records, in seq order."""
+    for record in records:
+        if record.get("event") == "epoch":
+            yield record["data"]
+
+
+def replay_result(session_ledger, meta: dict | None = None) -> SimulationResult:
+    """Rebuild a :class:`SimulationResult` from one session's ledger.
+
+    ``meta`` is the session's recorded config (from
+    :meth:`~repro.ledger.ledger.Ledger.load_meta`); when omitted the
+    result's config fields fall back to empty placeholders but the
+    epoch series is still exact.
+    """
+    # Local import: telemetry sits in repro.service, which imports the
+    # server (which imports this package) — resolving it lazily keeps
+    # the module graph acyclic at import time.
+    from ..service.telemetry import epoch_metrics_from_dict
+
+    config = (meta or {}).get("config", {})
+    info = (meta or {}).get("info", {})
+    result = SimulationResult(
+        workload=str(config.get("workload", "")),
+        policy=str(config.get("policy", "history")),
+        rank_source=str(config.get("rank_source", "combined")),
+        tier1_ratio=float(config.get("tier1_ratio", 1 / 8)),
+        tier1_capacity=int(info.get("tier1_capacity", 0)),
+    )
+    for data in iter_epoch_dicts(session_ledger.read()):
+        result.epochs.append(epoch_metrics_from_dict(data))
+    return result

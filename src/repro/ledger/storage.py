@@ -1,0 +1,445 @@
+"""One session's append-only segment chain.
+
+A :class:`SessionLedger` owns a directory of JSONL segment files::
+
+    meta.json                    # recorded config + provenance key
+    seg-0000000000.jsonl         # records seq 0..k-1   (sealed)
+    seg-0000000000.idx           # byte offsets sidecar  (sealed)
+    seg-0000000137.jsonl         # the active tail segment
+
+Each record is one JSON line ``{"seq": n, "event": "...", "data":
+{...}, "unix": t}``.  Segments are named by the first seq they hold,
+so seek-by-seq is a bisect over the sorted segment list (O(log n))
+followed by an O(1) offset lookup in the sealed segment's ``.idx``
+sidecar; only the bounded active segment is ever scanned linearly.
+
+Durability follows the recorded-run cache's discipline via
+:mod:`repro.ioutil`: sidecars and meta are written atomically, and a
+torn tail (process killed mid-append) is detected on reopen and
+truncated away — corruption is a miss, never an error.  The fsync
+policy is configurable: ``"rotate"`` (default) syncs a segment once
+when it seals, ``"always"`` syncs every append, ``"never"`` leaves
+durability to the OS.
+
+Retention is size/age based: :meth:`compact` (called opportunistically
+on rotation) unlinks the oldest *sealed* segments while the session
+exceeds ``retention_bytes`` or segments are older than
+``retention_age_s``; :attr:`first_seq` then reports the oldest record
+still replayable so readers can account the gap as drops.
+"""
+
+from __future__ import annotations
+
+import bisect
+import io
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+from ..ioutil import atomic_write_bytes, fsync_dir
+from ..obs import metrics as obs_metrics
+
+__all__ = ["LEDGER_FORMAT_VERSION", "SessionLedger"]
+
+#: Bump to invalidate every on-disk ledger at once (recorded in meta).
+LEDGER_FORMAT_VERSION = 1
+
+#: Rotate the active segment once it holds this many bytes.
+DEFAULT_SEGMENT_BYTES = 1 << 18
+
+_FSYNC_POLICIES = ("always", "rotate", "never")
+
+
+def _registry():
+    return obs_metrics.default_registry()
+
+
+def _json_default(obj):
+    """Coerce numpy scalars/arrays so records stay vanilla JSON."""
+    tolist = getattr(obj, "tolist", None)
+    if callable(tolist):
+        return tolist()
+    raise TypeError(f"not JSON-serializable: {type(obj).__name__}")
+
+
+def _segment_name(first_seq: int) -> str:
+    return f"seg-{first_seq:010d}.jsonl"
+
+
+class _Segment:
+    """Bookkeeping for one sealed or active segment file."""
+
+    def __init__(self, path: Path, first_seq: int, count: int, nbytes: int):
+        self.path = path
+        self.first_seq = first_seq
+        self.count = count
+        self.nbytes = nbytes
+
+    @property
+    def end_seq(self) -> int:
+        """One past the last seq held (== first_seq when empty)."""
+        return self.first_seq + self.count
+
+
+class SessionLedger:
+    """Append-only, seq-numbered event store for one session.
+
+    Thread model: one writer (appends are serialized by an internal
+    lock; the service fans out under its subscriber lock anyway) and
+    any number of concurrent readers.  The active segment is flushed
+    after every append so readers — which open their own file handles
+    — always see every published record.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        fsync: str = "rotate",
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        retention_bytes: int | None = None,
+        retention_age_s: float | None = None,
+    ):
+        if fsync not in _FSYNC_POLICIES:
+            raise ValueError(
+                f"fsync must be one of {_FSYNC_POLICIES}, got {fsync!r}"
+            )
+        if segment_bytes < 1:
+            raise ValueError(f"segment_bytes must be >= 1, got {segment_bytes}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
+        self.segment_bytes = int(segment_bytes)
+        self.retention_bytes = retention_bytes
+        self.retention_age_s = retention_age_s
+        self._lock = threading.Lock()
+        self._sealed: list[_Segment] = []
+        self._active: _Segment | None = None
+        #: Opened lazily on first append, so read-only uses (listing,
+        #: replay) never touch the filesystem beyond recovery scans.
+        self._fh: io.BufferedWriter | None = None
+        self._closed = False
+        self.next_seq = 0
+        #: Count of ``epoch`` records ever appended (survives reopen) —
+        #: the catch-up distance for crashed-session recovery.
+        self.epoch_count = 0
+        self._recover()
+
+    # ----------------------------------------------------------- recovery
+
+    def _recover(self) -> None:
+        """Rebuild in-memory state from disk, truncating any torn tail."""
+        paths = sorted(self.directory.glob("seg-*.jsonl"))
+        for i, path in enumerate(paths):
+            try:
+                first_seq = int(path.stem.split("-", 1)[1])
+            except (IndexError, ValueError):
+                continue
+            sidecar = self._load_sidecar(path, first_seq)
+            if sidecar is not None and i < len(paths) - 1:
+                # Sealed segment with a healthy index: trust it.
+                seg = _Segment(
+                    path, first_seq, sidecar["count"], sidecar["bytes"]
+                )
+                self._sealed.append(seg)
+                self.epoch_count += sidecar.get("epochs", 0)
+                self.next_seq = seg.end_seq
+                continue
+            # Tail segment (or sealed one missing its sidecar): scan it
+            # line by line and truncate at the first torn/misnumbered
+            # record — everything before the tear is still good.
+            good_bytes = 0
+            count = 0
+            epochs = 0
+            with open(path, "rb") as fh:
+                for line in fh:
+                    if not line.endswith(b"\n"):
+                        break
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        break
+                    if record.get("seq") != first_seq + count:
+                        break
+                    good_bytes += len(line)
+                    count += 1
+                    if record.get("event") == "epoch":
+                        epochs += 1
+            if good_bytes < path.stat().st_size:
+                with open(path, "rb+") as fh:
+                    fh.truncate(good_bytes)
+            seg = _Segment(path, first_seq, count, good_bytes)
+            self.epoch_count += epochs
+            self.next_seq = seg.end_seq
+            if i < len(paths) - 1:
+                # An interior segment without an index: reseal it so
+                # later seeks stay O(1).
+                self._write_sidecar(seg, self._scan_offsets(seg))
+                self._sealed.append(seg)
+            else:
+                self._active = seg
+        if self._active is None:
+            self._active = _Segment(
+                self.directory / _segment_name(self.next_seq),
+                self.next_seq,
+                0,
+                0,
+            )
+
+    # ------------------------------------------------------------ sidecars
+
+    @staticmethod
+    def _sidecar_path(path: Path) -> Path:
+        return path.with_suffix(".idx")
+
+    def _load_sidecar(self, path: Path, first_seq: int) -> dict | None:
+        """The segment's index, or None when absent/corrupt (a miss)."""
+        sidecar = self._sidecar_path(path)
+        try:
+            index = json.loads(sidecar.read_text())
+            if (
+                index["first_seq"] == first_seq
+                and len(index["offsets"]) == index["count"]
+            ):
+                return index
+        except (OSError, ValueError, KeyError, TypeError):
+            pass
+        return None
+
+    def _scan_offsets(self, seg: _Segment) -> list[int]:
+        offsets = []
+        pos = 0
+        with open(seg.path, "rb") as fh:
+            for _ in range(seg.count):
+                offsets.append(pos)
+                pos += len(fh.readline())
+        return offsets
+
+    def _write_sidecar(self, seg: _Segment, offsets: list[int]) -> None:
+        epochs = sum(
+            1
+            for record in self._iter_segment(seg, seg.first_seq)
+            if record.get("event") == "epoch"
+        )
+        blob = json.dumps(
+            {
+                "first_seq": seg.first_seq,
+                "count": seg.count,
+                "bytes": seg.nbytes,
+                "epochs": epochs,
+                "offsets": offsets,
+            },
+            separators=(",", ":"),
+        ).encode()
+        atomic_write_bytes(
+            self._sidecar_path(seg.path), blob, durable=self.fsync != "never"
+        )
+
+    # ------------------------------------------------------------- writing
+
+    def append(self, event: str, data: dict) -> int:
+        """Durably append one record; returns the seq it was assigned."""
+        line = None
+        with self._lock:
+            if self._closed:
+                raise ValueError("ledger is closed")
+            if self._fh is None:
+                self._fh = open(self._active.path, "ab")
+            seq = self.next_seq
+            record = {
+                "seq": seq,
+                "event": event,
+                "data": data,
+                "unix": time.time(),
+            }
+            line = (
+                json.dumps(
+                    record, separators=(",", ":"), default=_json_default
+                )
+                + "\n"
+            ).encode("utf-8")
+            self._fh.write(line)
+            # Flush unconditionally so same-process readers (the replay
+            # path) see the record; fsync is the configurable part.
+            self._fh.flush()
+            if self.fsync == "always":
+                self._fsync_active()
+            self._active.count += 1
+            self._active.nbytes += len(line)
+            self.next_seq = seq + 1
+            if event == "epoch":
+                self.epoch_count += 1
+            if self._active.nbytes >= self.segment_bytes:
+                self._rotate()
+        registry = _registry()
+        registry.counter(
+            "repro_ledger_appends_total", "Records appended to session ledgers"
+        ).inc()
+        registry.counter(
+            "repro_ledger_bytes_total", "Bytes appended to session ledgers"
+        ).inc(len(line))
+        return seq
+
+    def _fsync_active(self) -> None:
+        t0 = time.perf_counter()
+        os.fsync(self._fh.fileno())
+        _registry().histogram(
+            "repro_ledger_fsync_seconds", "Latency of ledger fsync calls"
+        ).observe(time.perf_counter() - t0)
+
+    def _rotate(self) -> None:
+        """Seal the active segment and open a fresh one (lock held)."""
+        seg = self._active
+        if self.fsync != "never":
+            self._fsync_active()
+        self._fh.close()
+        self._write_sidecar(seg, self._scan_offsets(seg))
+        self._sealed.append(seg)
+        self._active = _Segment(
+            self.directory / _segment_name(self.next_seq),
+            self.next_seq,
+            0,
+            0,
+        )
+        self._fh = open(self._active.path, "ab")
+        if self.fsync != "never":
+            fsync_dir(self.directory)
+        self._compact_locked()
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            if self._fh is None:
+                return
+            if self.fsync != "never" and self._active.count:
+                self._fsync_active()
+            self._fh.close()
+            self._fh = None
+
+    # ----------------------------------------------------------- retention
+
+    def compact(self) -> int:
+        """Apply the retention policy now; returns segments removed."""
+        with self._lock:
+            return self._compact_locked()
+
+    def _compact_locked(self) -> int:
+        if self.retention_bytes is None and self.retention_age_s is None:
+            return 0
+        removed = 0
+        now = time.time()
+        total = sum(s.nbytes for s in self._sealed) + self._active.nbytes
+        while self._sealed:
+            seg = self._sealed[0]
+            over_size = (
+                self.retention_bytes is not None
+                and total > self.retention_bytes
+            )
+            too_old = False
+            if self.retention_age_s is not None:
+                try:
+                    too_old = (
+                        now - seg.path.stat().st_mtime > self.retention_age_s
+                    )
+                except OSError:
+                    too_old = True
+            if not over_size and not too_old:
+                break
+            self._sealed.pop(0)
+            total -= seg.nbytes
+            seg.path.unlink(missing_ok=True)
+            self._sidecar_path(seg.path).unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    # ------------------------------------------------------------- reading
+
+    @property
+    def first_seq(self) -> int:
+        """Oldest seq still on disk (retention may have dropped earlier)."""
+        with self._lock:
+            if self._sealed:
+                return self._sealed[0].first_seq
+            return self._active.first_seq
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self.next_seq - (
+                self._sealed[0].first_seq
+                if self._sealed
+                else self._active.first_seq
+            )
+
+    def _iter_segment(self, seg: _Segment, from_seq: int, end_seq=None):
+        """Yield ``seg``'s records with ``from_seq <= seq < end_seq``."""
+        start = max(from_seq - seg.first_seq, 0)
+        if start >= seg.count:
+            return
+        offset = 0
+        if start:
+            sidecar = self._load_sidecar(seg.path, seg.first_seq)
+            if sidecar is not None:
+                offset = sidecar["offsets"][start]
+        try:
+            with open(seg.path, "rb") as fh:
+                if offset:
+                    fh.seek(offset)
+                    skip = 0
+                else:
+                    skip = start
+                for _ in range(skip):
+                    fh.readline()
+                for _ in range(seg.count - start):
+                    line = fh.readline()
+                    if not line.endswith(b"\n"):
+                        return
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        return
+                    if end_seq is not None and record["seq"] >= end_seq:
+                        return
+                    yield record
+        except OSError:
+            return
+
+    def read(self, from_seq: int = 0, end_seq: int | None = None):
+        """Yield records with ``from_seq <= seq < end_seq``, in order.
+
+        Safe against a concurrent writer: the segment list and record
+        counts are snapshotted under the lock, so the iteration sees a
+        consistent prefix of the ledger (records appended afterwards
+        are simply not part of this read).
+        """
+        with self._lock:
+            segments = list(self._sealed)
+            segments.append(
+                _Segment(
+                    self._active.path,
+                    self._active.first_seq,
+                    self._active.count,
+                    self._active.nbytes,
+                )
+            )
+        firsts = [seg.first_seq for seg in segments]
+        start = max(bisect.bisect_right(firsts, from_seq) - 1, 0)
+        for seg in segments[start:]:
+            if end_seq is not None and seg.first_seq >= end_seq:
+                return
+            yield from self._iter_segment(seg, from_seq, end_seq)
+
+    def stats(self) -> dict:
+        with self._lock:
+            sealed_bytes = sum(s.nbytes for s in self._sealed)
+            return {
+                "directory": str(self.directory),
+                "segments": len(self._sealed) + 1,
+                "bytes": sealed_bytes + self._active.nbytes,
+                "first_seq": self._sealed[0].first_seq
+                if self._sealed
+                else self._active.first_seq,
+                "next_seq": self.next_seq,
+                "epochs": self.epoch_count,
+            }

@@ -21,12 +21,12 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-import os
 from pathlib import Path
 
 import numpy as np
 
 from ..core.config import TMPConfig
+from ..ioutil import atomic_output
 from ..memsim.machine import MachineConfig
 from ..obs import metrics as obs_metrics
 from ..tiering import serialize as _serialize
@@ -146,14 +146,10 @@ class RunCache:
     def put(self, key: str, recorded: RecordedRun) -> Path:
         """Atomically store ``recorded`` under ``key``."""
         path = self.path_for(key)
-        tmp = path.with_name(f".{key}.{os.getpid()}.tmp.npz")
-        try:
+        with atomic_output(path) as tmp:
             _serialize.save_recorded(
                 recorded, tmp, include_samples=self.include_samples
             )
-            os.replace(tmp, path)
-        finally:
-            tmp.unlink(missing_ok=True)
         return path
 
     def stats(self) -> dict:

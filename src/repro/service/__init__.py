@@ -26,11 +26,20 @@ Layering:
     frames; ``workers=0`` keeps the in-process path.
 ``manager``
     The session registry: admission, lookup, TTL/idle eviction.
+    Deliberate discards (eviction, drain) push structured
+    ``evicted``/``server_drain`` goodbye frames before detaching.
 ``server``
     The asyncio JSON-lines server (TCP or unix socket) and a
     thread-hosted variant for embedding in sync programs and tests.
 ``client``
     A blocking socket client (`ServiceClient`).
+
+Durability: with ``repro serve --ledger-dir`` every session's event
+stream also appends to :mod:`repro.ledger` — an on-disk event-sourced
+telemetry ledger enabling ``subscribe(from_seq=...)`` replay and
+crashed-session recovery (a dead worker's sessions are re-materialized
+from their recorded config instead of discarded).  See
+``docs/service.md``.
 
 Observability: every layer records into :mod:`repro.obs` — the
 ``metrics`` protocol op (and :meth:`ServiceClient.metrics`) returns one

@@ -150,18 +150,44 @@ class ServiceClient:
         return self.request("reconfigure", session=session, changes=changes)
 
     def subscribe(
-        self, session: str, max_queue: int = 64, max_rate_hz: float | None = None
+        self,
+        session: str,
+        max_queue: int = 64,
+        max_rate_hz: float | None = None,
+        from_seq: int | None = None,
     ) -> dict:
+        """Attach to a session's event stream.
+
+        ``from_seq`` (ledger-backed servers only) replays every
+        persisted frame with ``seq >= from_seq`` before the live tail —
+        the replayed frames arrive as ordinary events, in order, with
+        seq numbering continuous into the live stream.
+        """
         params = {"session": session, "max_queue": max_queue}
         if max_rate_hz is not None:
             params["max_rate_hz"] = max_rate_hz
+        if from_seq is not None:
+            params["from_seq"] = from_seq
         return self.request("subscribe", **params)
 
     def unsubscribe(self, subscription: str) -> dict:
         return self.request("unsubscribe", subscription=subscription)
 
-    def close_session(self, session: str) -> dict:
-        return self.request("close_session", session=session)
+    def close_session(
+        self,
+        session: str,
+        include_epochs: bool = False,
+        epochs_from: int = 0,
+        epochs_to: int | None = None,
+    ) -> dict:
+        """Close a session; optionally attach a bounded epoch window."""
+        params = {"session": session}
+        if include_epochs:
+            params["include_epochs"] = True
+            params["epochs_from"] = epochs_from
+            if epochs_to is not None:
+                params["epochs_to"] = epochs_to
+        return self.request("close_session", **params)
 
     def metrics(self) -> dict:
         """The server's merged metrics snapshot (all worker processes)."""

@@ -21,6 +21,7 @@ from ..obs import log as obs_log
 from ..obs import metrics as obs_metrics
 from .protocol import ErrorCode, ServiceError
 from .session import ProfilingSession
+from .telemetry import crash_event_data
 
 __all__ = ["SessionManager"]
 
@@ -113,8 +114,13 @@ class SessionManager:
             )
         return session
 
-    def close(self, session_id) -> dict:
-        """Close and forget one session; returns its final summary."""
+    def close(self, session_id, **close_kwargs) -> dict:
+        """Close and forget one session; returns its final summary.
+
+        ``close_kwargs`` (``include_epochs``/``epochs_from``/
+        ``epochs_to``) pass through to the session's bounded
+        epoch-series serialization.
+        """
         with self._lock:
             session = self._sessions.pop(session_id, None)
             n_active = len(self._sessions)
@@ -127,7 +133,7 @@ class SessionManager:
         ).inc()
         _set_active(n_active)
         _log.info("session_closed", session=session_id)
-        return session.close()
+        return session.close(**close_kwargs)
 
     def discard(self, session_id) -> bool:
         """Forget a session *without* closing it (worker-crash path:
@@ -145,11 +151,22 @@ class SessionManager:
         return dropped
 
     def close_all(self) -> list[str]:
-        """Drain path: close every session, newest last."""
+        """Drain path: close every session, newest last.
+
+        Each session's subscribers receive one structured
+        ``server_drain`` error frame before the close detaches them,
+        so a consumer can tell a deliberate drain from a dead socket.
+        """
         with self._lock:
             sessions = list(self._sessions.items())
             self._sessions.clear()
-        for _, session in sessions:
+        for sid, session in sessions:
+            session._fanout(
+                "error",
+                crash_event_data(
+                    ErrorCode.SERVER_DRAIN, f"server draining; session {sid} closing"
+                ),
+            )
             session.close()
         if sessions:
             _metrics().counter(
@@ -172,6 +189,16 @@ class SessionManager:
             evicted = [(sid, self._sessions.pop(sid)) for sid in stale]
             n_active = len(self._sessions)
         for sid, session in evicted:
+            # Structured goodbye before discard: consumers can tell an
+            # idle-TTL eviction from a network failure.
+            session._fanout(
+                "error",
+                crash_event_data(
+                    ErrorCode.EVICTED,
+                    f"session {sid} evicted after idling longer than "
+                    f"{self.idle_ttl_s:g}s",
+                ),
+            )
             session.close()
             _log.info("session_evicted", session=sid, idle_ttl_s=self.idle_ttl_s)
         if evicted:

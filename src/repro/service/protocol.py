@@ -53,6 +53,8 @@ class ErrorCode:
     AT_CAPACITY = "at_capacity"      # admission limit reached
     SHUTTING_DOWN = "shutting_down"  # server is draining
     WORKER_CRASHED = "worker_crashed"  # session lost to a dead worker
+    EVICTED = "evicted"              # session closed by the idle TTL
+    SERVER_DRAIN = "server_drain"    # session closed by graceful drain
     INTERNAL = "internal"
 
 

@@ -30,10 +30,12 @@ from __future__ import annotations
 
 import asyncio
 import functools
+import itertools
 import signal
 import threading
 from concurrent.futures import ThreadPoolExecutor
 
+from ..ledger import Ledger
 from ..obs import log as obs_log
 from ..obs import metrics as obs_metrics
 from ..obs.http import MetricsHTTPServer
@@ -45,6 +47,7 @@ from .protocol import (
     decode_frame,
     encode_frame,
     error_response,
+    event_frame,
     ok_response,
 )
 from .workers import WorkerPool, resolve_workers
@@ -70,12 +73,17 @@ class _Connection:
             await self.writer.drain()
 
     async def flush_sub(self, subscription_id: str) -> None:
-        """Push whatever the subscription has buffered right now."""
+        """Push whatever the subscription has buffered right now.
+
+        Drains the queue object directly so frames pushed right before
+        a close (eviction/drain goodbyes) still deliver after the
+        session detached its subscriber table.
+        """
         entry = self.subs.get(subscription_id)
         if entry is None:
             return
         session, sub, _, _ = entry
-        for frame in session.drain_subscriber(sub.subscription_id):
+        for frame in session.drain_queue(sub):
             await self.send(frame)
 
     def close(self) -> None:
@@ -105,6 +113,11 @@ class ServiceServer:
         workers: int | None = 0,
         reap_interval_s: float = 5.0,
         metrics_port: int | None = None,
+        ledger_dir: str | None = None,
+        ledger_fsync: str = "rotate",
+        ledger_segment_bytes: int | None = None,
+        ledger_retention_bytes: int | None = None,
+        ledger_retention_age_s: float | None = None,
     ):
         self.manager = manager or SessionManager(
             max_sessions=max_sessions, idle_ttl_s=idle_ttl_s
@@ -123,6 +136,21 @@ class ServiceServer:
         self.metrics_port = metrics_port
         self.metrics_address: tuple[str, int] | None = None
         self._metrics_http: MetricsHTTPServer | None = None
+        #: Durable event-sourced telemetry (``--ledger-dir``): every
+        #: session's frames append to an on-disk ledger, enabling
+        #: ``subscribe(from_seq=...)`` replay and crashed-session
+        #: recovery.  None disables all of it (the historical path).
+        self._ledger: Ledger | None = None
+        if ledger_dir:
+            ledger_kwargs = {"fsync": ledger_fsync}
+            if ledger_segment_bytes is not None:
+                ledger_kwargs["segment_bytes"] = ledger_segment_bytes
+            self._ledger = Ledger(
+                ledger_dir,
+                retention_bytes=ledger_retention_bytes,
+                retention_age_s=ledger_retention_age_s,
+                **ledger_kwargs,
+            )
         self.address: tuple[str, int] | str | None = None
         self._server: asyncio.AbstractServer | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -164,6 +192,22 @@ class ServiceServer:
                 # Executor threads only courier RPCs to the pool; give
                 # the pool headroom so threads never gate core count.
                 step_threads = max(8, 4 * self.workers)
+        if self._ledger is not None:
+            # Attach each session's ledger inside the factory, before
+            # the manager publishes the session — no frame can ever fan
+            # out un-persisted, so queue seq and ledger seq stay equal.
+            base_factory = self.manager.session_factory
+
+            def _ledgered_factory(session_id, clock=None, **params):
+                kwargs = {} if clock is None else {"clock": clock}
+                session = base_factory(session_id, **kwargs, **params)
+                session_ledger = self._ledger.create_session(
+                    session_id, dict(params), info=session.info()
+                )
+                session.attach_ledger(session_ledger)
+                return session
+
+            self.manager.session_factory = _ledgered_factory
         self._executor = ThreadPoolExecutor(
             max_workers=step_threads,
             thread_name_prefix="repro-service-step",
@@ -236,6 +280,14 @@ class ServiceServer:
         # Close sessions while workers are still alive (summaries come
         # back over the pipes), then join the pool itself.
         await self._run_blocking(self.manager.close_all)
+        # close_all fanned one structured server_drain goodbye into each
+        # queue after the flush above; push those before tearing down.
+        for conn in list(self._connections):
+            for sub_id in list(conn.subs):
+                try:
+                    await conn.flush_sub(sub_id)
+                except (ConnectionError, RuntimeError):
+                    break
         if self._pool is not None:
             await self._run_blocking(self._pool.shutdown)
         for conn in list(self._connections):
@@ -261,13 +313,52 @@ class ServiceServer:
         )
 
     def _on_worker_crash(self, session_ids, message) -> None:
-        """Pool callback (reader thread): drop the dead sessions.
+        """Pool callback (reader thread): recover or drop dead sessions.
 
         The sessions are already marked crashed and their subscribers
-        already hold the structured error frame; all that is left is
-        releasing their admission slots so new creates succeed.
+        already hold the structured ``worker_crashed`` frame.  With a
+        ledger each session can be re-materialized: its recorded config
+        plus the persisted epoch count re-run the deterministic
+        simulator in a fresh worker, after which subscribers see a
+        ``recovered`` frame and a gap-free continuation.  Without one,
+        all that is left is releasing the admission slots.
         """
         for session_id in session_ids:
+            if self._ledger is not None and not self._draining:
+                self._loop.call_soon_threadsafe(self._spawn_recovery, session_id)
+            else:
+                self.manager.discard(session_id)
+
+    def _spawn_recovery(self, session_id) -> None:
+        asyncio.create_task(self._recover_session(session_id))
+
+    async def _recover_session(self, session_id) -> None:
+        """Re-materialize one crashed session from its ledger."""
+        try:
+            session = self.manager.get(session_id)
+        except ServiceError:
+            return  # closed or evicted while the crash was in flight
+        meta = self._ledger.load_meta(session_id)
+        if (
+            self._pool is None
+            or meta is None
+            or session.ledger is None
+            or self._draining
+        ):
+            self.manager.discard(session_id)
+            return
+        epochs = session.ledger.epoch_count
+        try:
+            await self._run_blocking(
+                self._pool.recover_session,
+                session,
+                dict(meta["config"]),
+                epochs,
+            )
+        except Exception as exc:  # noqa: BLE001 — recovery is best-effort
+            _log.error(
+                "session_recovery_failed", session=session_id, error=str(exc)
+            )
             self.manager.discard(session_id)
 
     # ----------------------------------------------------------- connections
@@ -360,6 +451,14 @@ class ServiceServer:
         }
         if self._pool is not None:
             info["worker_pool"] = self._pool.info()
+        if self._ledger is not None:
+            info["ledger"] = {
+                "root": str(self._ledger.root),
+                "fsync": self._ledger.fsync,
+                "sessions": len(self._ledger.list_sessions()),
+            }
+        else:
+            info["ledger"] = None
         return info
 
     async def _op_list_sessions(self, conn, params) -> dict:
@@ -405,21 +504,99 @@ class ServiceServer:
         max_rate_hz = params.get("max_rate_hz")
         if max_rate_hz is not None and not isinstance(max_rate_hz, (int, float)):
             raise ServiceError(ErrorCode.BAD_PARAMS, "max_rate_hz must be a number")
+        from_seq = params.get("from_seq")
+        if from_seq is not None:
+            if not isinstance(from_seq, int) or from_seq < 0:
+                raise ServiceError(
+                    ErrorCode.BAD_PARAMS, "from_seq must be an integer >= 0"
+                )
+            if session.ledger is None:
+                raise ServiceError(
+                    ErrorCode.BAD_PARAMS,
+                    "from_seq needs a ledger; start the server with --ledger-dir",
+                )
+        initial_dropped = 0
+        if from_seq is not None:
+            # Retention may have compacted the oldest records away;
+            # surface that gap through the same cumulative ``dropped``
+            # counter the live drop-oldest path already uses.
+            initial_dropped = max(0, session.ledger.first_seq - from_seq)
         wake = asyncio.Event()
         loop = self._loop
         sub = session.subscribe(
             max_queue=max_queue,
             notify=lambda: loop.call_soon_threadsafe(wake.set),
             max_rate_hz=max_rate_hz,
+            initial_dropped=initial_dropped,
         )
+        replayed = 0
+        live_start = sub.seq
+        if from_seq is not None:
+            # Replay ``[from_seq, live_start)`` from disk before the
+            # live pump starts.  The subscriber attached at
+            # ``live_start`` and every earlier frame was appended inside
+            # the fan-out's critical section, so the disk→queue handoff
+            # is gap-free and exactly-once: replay stops precisely where
+            # the queue begins.
+            replayed = await self._replay(
+                conn, session, sub, from_seq, live_start, initial_dropped
+            )
         task = asyncio.create_task(self._pump(conn, session, sub, wake))
         conn.subs[sub.subscription_id] = (session, sub, task, wake)
         session.touch()
-        return {
+        result = {
             "session": session.session_id,
             "subscription": sub.subscription_id,
             "max_queue": sub.max_queue,
         }
+        if from_seq is not None:
+            result.update(
+                from_seq=from_seq,
+                replayed=replayed,
+                dropped=initial_dropped,
+                live_seq=live_start,
+            )
+        return result
+
+    #: Ledger records replayed per executor round-trip: bounds both the
+    #: event-loop hold time and the memory one huge replay can pin.
+    _REPLAY_BATCH = 256
+
+    async def _replay(
+        self, conn, session, sub, from_seq, end_seq, dropped
+    ) -> int:
+        """Stream ledger records ``[from_seq, end_seq)`` to ``conn``."""
+        ledger = session.ledger
+        replayed = 0
+        cursor = from_seq
+        while cursor < end_seq:
+            batch = await self._run_blocking(
+                lambda start=cursor: list(
+                    itertools.islice(
+                        ledger.read(start, end_seq), self._REPLAY_BATCH
+                    )
+                )
+            )
+            if not batch:
+                break
+            for record in batch:
+                await conn.send(
+                    event_frame(
+                        record["event"],
+                        session.session_id,
+                        sub.subscription_id,
+                        record["seq"],
+                        record["data"],
+                        dropped=dropped,
+                    )
+                )
+            replayed += len(batch)
+            cursor = batch[-1]["seq"] + 1
+        obs_metrics.default_registry().counter(
+            "repro_ledger_replay_frames_total",
+            "Frames replayed from session ledgers to subscribers",
+        ).inc(replayed)
+        return replayed
 
     async def _op_unsubscribe(self, conn, params) -> dict:
         sub_id = params.get("subscription")
@@ -435,7 +612,28 @@ class ServiceServer:
 
     async def _op_close_session(self, conn, params) -> dict:
         session_id = self._session_id(params)
-        summary = await self._run_blocking(self.manager.close, session_id)
+        include_epochs = params.get("include_epochs", False)
+        if not isinstance(include_epochs, bool):
+            raise ServiceError(
+                ErrorCode.BAD_PARAMS, "include_epochs must be a boolean"
+            )
+        epochs_from = params.get("epochs_from", 0)
+        if not isinstance(epochs_from, int) or epochs_from < 0:
+            raise ServiceError(
+                ErrorCode.BAD_PARAMS, "epochs_from must be an integer >= 0"
+            )
+        epochs_to = params.get("epochs_to")
+        if epochs_to is not None and not isinstance(epochs_to, int):
+            raise ServiceError(
+                ErrorCode.BAD_PARAMS, "epochs_to must be an integer"
+            )
+        summary = await self._run_blocking(
+            self.manager.close,
+            session_id,
+            include_epochs=include_epochs,
+            epochs_from=epochs_from,
+            epochs_to=epochs_to,
+        )
         return {"session": session_id, "result": summary}
 
     async def _op_metrics(self, conn, params) -> dict:
@@ -470,7 +668,7 @@ class ServiceServer:
                 await wake.wait()
                 wake.clear()
                 while True:
-                    frames = session.drain_subscriber(sub.subscription_id)
+                    frames = session.drain_queue(sub)
                     if not frames:
                         break
                     for frame in frames:

@@ -63,6 +63,8 @@ class SubscriberQueue:
         max_queue: int = DEFAULT_MAX_QUEUE,
         notify=None,
         max_rate_hz: float | None = None,
+        start_seq: int = 0,
+        initial_dropped: int = 0,
     ):
         if max_queue < 1:
             raise ServiceError(ErrorCode.BAD_PARAMS, "max_queue must be >= 1")
@@ -76,8 +78,12 @@ class SubscriberQueue:
         #: a throttled subscriber falls behind into drop-oldest rather
         #: than slowing the session.
         self.min_interval_s = 1.0 / max_rate_hz if max_rate_hz else 0.0
-        self.seq = 0
-        self.dropped = 0
+        #: ``seq`` is the session-global frame number (the same number
+        #: the telemetry ledger records), so a late subscriber starts
+        #: at the session's current position rather than 0 and ledger
+        #: replay splices seamlessly into the live tail.
+        self.seq = int(start_seq)
+        self.dropped = int(initial_dropped)
         self._frames: deque = deque()
 
     def push(self, event: str, data: dict) -> dict:
@@ -140,6 +146,12 @@ class SessionBase:
         #: Extra frame consumers called on every fan-out (the worker
         #: processes use one to stream epochs back over their pipe).
         self._sinks: list = []
+        #: Session-global frame counter: every fan-out consumes one
+        #: number, shared by all subscribers and the ledger.
+        self._frame_seq = 0
+        #: The session's durable event store, when the server enables
+        #: one (``--ledger-dir``); appended on every fan-out.
+        self.ledger = None
 
     # ------------------------------------------------------------- lifecycle
 
@@ -155,13 +167,34 @@ class SessionBase:
         """Register ``sink(event, data)`` to see every fan-out frame."""
         self._sinks.append(sink)
 
+    def attach_ledger(self, session_ledger) -> None:
+        """Durably record every fan-out frame in ``session_ledger``.
+
+        The append happens inside the fan-out's subscriber-lock
+        critical section, so by the time any subscriber attaches at
+        frame ``S`` every frame ``< S`` is already readable from the
+        ledger — the invariant ``subscribe(from_seq=...)`` replay
+        relies on.  A failing append (disk full, closed ledger) is
+        logged via the obs counter but never stalls stepping.
+        """
+        self.ledger = session_ledger
+
     def _fanout(self, event: str, data: dict) -> None:
-        """Push one frame to every subscriber queue and sink."""
+        """Push one frame to every subscriber queue, ledger, and sink."""
         with self._sub_lock:
+            self._frame_seq += 1
             subs = list(self._subscribers.values())
-        for sub in subs:
-            with self._sub_lock:
+            for sub in subs:
                 sub.push(event, data)
+            if self.ledger is not None:
+                try:
+                    self.ledger.append(event, data)
+                except (OSError, ValueError):
+                    obs_metrics.default_registry().counter(
+                        "repro_ledger_append_errors_total",
+                        "Ledger appends that failed (frame not persisted)",
+                    ).inc()
+        for sub in subs:
             if sub.notify is not None:
                 sub.notify()
         for sink in self._sinks:
@@ -172,8 +205,15 @@ class SessionBase:
         max_queue: int = DEFAULT_MAX_QUEUE,
         notify=None,
         max_rate_hz: float | None = None,
+        initial_dropped: int = 0,
     ) -> SubscriberQueue:
-        """Attach a bounded drop-oldest subscriber queue."""
+        """Attach a bounded drop-oldest subscriber queue.
+
+        The queue's ``seq`` starts at the session's current global
+        frame count: earlier frames are never re-delivered live (the
+        ledger replay path serves those), so the numbering is shared
+        by every subscriber and by the on-disk records.
+        """
         with self._sub_lock:
             self._next_sub += 1
             sub = SubscriberQueue(
@@ -182,9 +222,17 @@ class SessionBase:
                 max_queue=max_queue,
                 notify=notify,
                 max_rate_hz=max_rate_hz,
+                start_seq=self._frame_seq,
+                initial_dropped=initial_dropped,
             )
             self._subscribers[sub.subscription_id] = sub
             return sub
+
+    @property
+    def frame_seq(self) -> int:
+        """Frames fanned out so far (== the next frame's seq)."""
+        with self._sub_lock:
+            return self._frame_seq
 
     def unsubscribe(self, subscription_id: str) -> bool:
         with self._sub_lock:
@@ -195,6 +243,16 @@ class SessionBase:
         with self._sub_lock:
             sub = self._subscribers.get(subscription_id)
             return sub.drain() if sub is not None else []
+
+    def drain_queue(self, sub: SubscriberQueue) -> list[dict]:
+        """Drain a queue object directly, even after it was detached.
+
+        The server's pump holds the queue object, so goodbye frames
+        (``evicted``/``server_drain``) pushed immediately before a
+        close — which clears the subscriber table — still deliver.
+        """
+        with self._sub_lock:
+            return sub.drain()
 
 
 class ProfilingSession(SessionBase):
@@ -272,13 +330,31 @@ class ProfilingSession(SessionBase):
             "idle_s": self.idle_s(),
         }
 
-    def close(self) -> dict:
-        """Finalize: detach subscribers, return the run summary."""
+    def close(
+        self,
+        include_epochs: bool = False,
+        epochs_from: int = 0,
+        epochs_to: int | None = None,
+    ) -> dict:
+        """Finalize: detach subscribers, return the run summary.
+
+        ``include_epochs`` attaches the per-epoch telemetry series,
+        bounded to the requested window (and never more than
+        ``MAX_EPOCHS_PER_RESPONSE`` entries) so closing a 100k-epoch
+        session cannot serialize an unbounded list into one response.
+        """
         with self._sim_lock:
             self.closed = True
-            summary = simulation_result_to_dict(self.sim.result)
+            summary = simulation_result_to_dict(
+                self.sim.result,
+                include_epochs=include_epochs,
+                epochs_from=epochs_from,
+                epochs_to=epochs_to,
+            )
         with self._sub_lock:
             self._subscribers.clear()
+        if self.ledger is not None:
+            self.ledger.close()
         return summary
 
     # -------------------------------------------------------------- stepping

@@ -1,20 +1,33 @@
 """Converters from simulator dataclasses to JSON-safe telemetry dicts.
 
-The per-epoch dict is the payload of every ``subscribe`` event frame
-and of the ``step`` response; the result dict summarizes a finished
-session on ``close_session``.  Shapes are part of the wire protocol —
-see ``docs/service.md`` — so changes here are protocol changes.
+The per-epoch dict is the payload of every ``subscribe`` event frame,
+of the ``step`` response, and of every ``epoch`` record the telemetry
+ledger (:mod:`repro.ledger`) persists; the result dict summarizes a
+finished session on ``close_session``.  Shapes are part of the wire
+protocol — see ``docs/service.md`` — so changes here are protocol
+changes *and* ledger format changes: bump
+:data:`repro.ledger.storage.LEDGER_FORMAT_VERSION` when a shape
+changes incompatibly, or old ledgers will replay wrong.
 """
 
 from __future__ import annotations
 
+from ..tiering.latency_model import EpochLatency
 from ..tiering.simulator import EpochMetrics, SimulationResult
 
 __all__ = [
+    "MAX_EPOCHS_PER_RESPONSE",
     "crash_event_data",
+    "epoch_metrics_from_dict",
     "epoch_metrics_to_dict",
+    "recovered_event_data",
     "simulation_result_to_dict",
 ]
+
+#: Hard cap on epochs serialized into one response (a 100k-epoch
+#: session must page through ``epochs_from``/``epochs_to`` windows, not
+#: ship its whole history in a single JSON line).
+MAX_EPOCHS_PER_RESPONSE = 4096
 
 
 def crash_event_data(code: str, message: str, worker: int | None = None) -> dict:
@@ -23,11 +36,31 @@ def crash_event_data(code: str, message: str, worker: int | None = None) -> dict
     Delivered through the same :class:`SubscriberQueue` path as epoch
     frames, so ``seq``/``dropped`` accounting stays intact across the
     failure and consumers can tell exactly which frames they lost.
+    Besides worker crashes, the same shape announces idle-TTL eviction
+    (``code="evicted"``) and server drain (``code="server_drain"``) so
+    a consumer can distinguish every deliberate discard from a network
+    failure.
     """
     data = {"code": code, "message": message}
     if worker is not None:
         data["worker"] = int(worker)
     return data
+
+
+def recovered_event_data(
+    worker: int, epochs_replayed: int, message: str
+) -> dict:
+    """Payload of the ``recovered`` frame after a ledger re-materialize.
+
+    Pushed once the crashed session's replacement has caught back up
+    to ``epochs_replayed`` scored epochs; subsequent ``epoch`` frames
+    continue the pre-crash series bit-identically.
+    """
+    return {
+        "worker": int(worker),
+        "epochs_replayed": int(epochs_replayed),
+        "message": message,
+    }
 
 
 def epoch_metrics_to_dict(m: EpochMetrics) -> dict:
@@ -51,10 +84,46 @@ def epoch_metrics_to_dict(m: EpochMetrics) -> dict:
     }
 
 
+def epoch_metrics_from_dict(data: dict) -> EpochMetrics:
+    """Inverse of :func:`epoch_metrics_to_dict` (ledger replay path).
+
+    Floats survive the JSON round-trip exactly (``repr`` round-trips
+    every finite double), so a replayed epoch is bit-identical to the
+    live one — the property the recovery tests pin.
+    """
+    latency = data["latency"]
+    return EpochMetrics(
+        epoch=int(data["epoch"]),
+        accesses=int(data["accesses"]),
+        mem_accesses=int(data["mem_accesses"]),
+        hitrate=float(data["hitrate"]),
+        promoted=int(data["promoted"]),
+        demoted=int(data["demoted"]),
+        latency=EpochLatency(
+            base_s=float(latency["base_s"]),
+            slow_fault_s=float(latency["slow_fault_s"]),
+            hot_slow_extra_s=float(latency["hot_slow_extra_s"]),
+            migration_s=float(latency["migration_s"]),
+        ),
+        profiler_overhead_s=float(data["profiler_overhead_s"]),
+    )
+
+
 def simulation_result_to_dict(
-    res: SimulationResult, *, include_epochs: bool = False
+    res: SimulationResult,
+    *,
+    include_epochs: bool = False,
+    epochs_from: int = 0,
+    epochs_to: int | None = None,
 ) -> dict:
-    """Summarize a (possibly still-running) simulation result."""
+    """Summarize a (possibly still-running) simulation result.
+
+    ``include_epochs`` attaches the per-epoch series, but only the
+    ``[epochs_from, epochs_to)`` window and never more than
+    :data:`MAX_EPOCHS_PER_RESPONSE` entries — the response reports the
+    window actually served (``epochs_from``/``epochs_to``) so callers
+    can page through a long run with repeated bounded requests.
+    """
     out = {
         "workload": res.workload,
         "policy": res.policy,
@@ -67,5 +136,12 @@ def simulation_result_to_dict(
         "total_migrations": int(res.total_migrations),
     }
     if include_epochs:
-        out["epochs"] = [epoch_metrics_to_dict(e) for e in res.epochs]
+        start = max(int(epochs_from), 0)
+        stop = len(res.epochs) if epochs_to is None else int(epochs_to)
+        stop = min(max(stop, start), len(res.epochs), start + MAX_EPOCHS_PER_RESPONSE)
+        out["epochs_from"] = start
+        out["epochs_to"] = stop
+        out["epochs"] = [
+            epoch_metrics_to_dict(e) for e in res.epochs[start:stop]
+        ]
     return out

@@ -47,7 +47,7 @@ from ..obs import log as obs_log
 from ..obs import metrics as obs_metrics
 from .protocol import ErrorCode, ServiceError
 from .session import SessionBase
-from .telemetry import crash_event_data
+from .telemetry import crash_event_data, recovered_event_data
 
 __all__ = ["RemoteSession", "WorkerPool", "resolve_workers"]
 
@@ -109,6 +109,26 @@ def _worker_main(conn, worker_id: int) -> None:
             )
             sessions[session_id] = session
             return session.info()
+        if op == "recover":
+            # Re-materialize a session lost to a crashed worker: same
+            # recorded config, then silently catch back up to the
+            # ledger's epoch count.  The simulator is deterministic, so
+            # the replayed epochs (and everything after) are
+            # bit-identical to the uncrashed run; the event sink is
+            # attached only *after* the catch-up so subscribers never
+            # see the re-executed epochs twice.
+            session_id, params, epochs = payload
+            try:
+                session = ProfilingSession(session_id, **params)
+            except TypeError as exc:
+                raise ServiceError(ErrorCode.BAD_PARAMS, str(exc)) from exc
+            if epochs > 0:
+                session.sim.step(epochs)
+            session.add_sink(
+                lambda event, data: conn.send(("event", session_id, event, data))
+            )
+            sessions[session_id] = session
+            return session.info()
         if op == "step":
             session_id, epochs = payload
             return get(session_id).step(epochs)
@@ -121,8 +141,9 @@ def _worker_main(conn, worker_id: int) -> None:
             session_id, changes = payload
             return get(session_id).reconfigure(changes)
         if op == "close":
-            summary = get(payload).close()
-            sessions.pop(payload, None)
+            session_id, options = payload
+            summary = get(session_id).close(**options)
+            sessions.pop(session_id, None)
             return summary
         if op == "ping":
             return {"worker": worker_id, "pid": os.getpid(), "sessions": len(sessions)}
@@ -372,6 +393,30 @@ class RemoteSession(SessionBase):
             crash_event_data(ErrorCode.WORKER_CRASHED, message, self.worker.index),
         )
 
+    def recover(self, worker: WorkerHandle, epochs_run: int) -> None:
+        """Un-crash this session after a ledger re-materialization.
+
+        The replacement session (same config, caught up to
+        ``epochs_run``) now lives on ``worker``; subscriber queues and
+        the session-global frame seq were parent-side state all along,
+        so the ``recovered`` frame and every live epoch frame after it
+        continue the pre-crash numbering without a gap.
+        """
+        self.worker = worker
+        self._epochs_run = int(epochs_run)
+        self.crashed = None
+        self.closed = False
+        self._fanout(
+            "recovered",
+            recovered_event_data(
+                worker.index,
+                epochs_run,
+                f"session {self.session_id} recovered from ledger "
+                f"({epochs_run} epochs replayed)",
+            ),
+        )
+        self.touch()
+
     # ----------------------------------------------------------------- ops
 
     def info(self) -> dict:
@@ -421,14 +466,26 @@ class RemoteSession(SessionBase):
         self.touch()
         return result
 
-    def close(self) -> dict:
+    def close(
+        self,
+        include_epochs: bool = False,
+        epochs_from: int = 0,
+        epochs_to: int | None = None,
+    ) -> dict:
         """Finalize in the worker; never raises on a dead worker."""
+        options = {
+            "include_epochs": include_epochs,
+            "epochs_from": epochs_from,
+            "epochs_to": epochs_to,
+        }
         if self.crashed is not None:
             summary = {"session": self.session_id, "crashed": self.crashed}
         else:
             try:
                 summary = self._request(
-                    "close", self.session_id, timeout_s=DEFAULT_JOIN_TIMEOUT_S
+                    "close",
+                    (self.session_id, options),
+                    timeout_s=DEFAULT_JOIN_TIMEOUT_S,
                 )
             except ServiceError as exc:
                 summary = {"session": self.session_id, "crashed": exc.message}
@@ -436,6 +493,8 @@ class RemoteSession(SessionBase):
         self.pool.release(self)
         with self._sub_lock:
             self._subscribers.clear()
+        if self.ledger is not None:
+            self.ledger.close()
         return summary
 
 
@@ -518,6 +577,68 @@ class WorkerPool:
         with self._lock:
             self._sessions.pop(session.session_id, None)
             session.worker.sessions.discard(session.session_id)
+
+    def recover_session(
+        self,
+        session: RemoteSession,
+        params: dict,
+        epochs: int,
+        wait_s: float = 15.0,
+    ) -> RemoteSession:
+        """Re-materialize a crashed session from its recorded config.
+
+        Waits for a live worker (the dead slot respawns on its reader
+        thread), re-pins the session there, and asks the worker to
+        rebuild it and silently catch up ``epochs`` scored epochs.
+        On success the session object itself is un-crashed in place —
+        its subscribers see one ``recovered`` frame and then gap-free
+        live epochs.  Raises :class:`ServiceError` when no worker
+        comes up or the rebuild fails; the caller then discards the
+        session as before.
+        """
+        deadline = time.monotonic() + wait_s
+        while True:
+            with self._lock:
+                alive = [
+                    w
+                    for w in self.workers
+                    if not w.closing and w.process is not None
+                    and w.process.is_alive()
+                ]
+                if alive:
+                    worker = min(
+                        alive, key=lambda w: (len(w.sessions), w.index)
+                    )
+                    worker.sessions.add(session.session_id)
+                    self._sessions[session.session_id] = session
+                    break
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    ErrorCode.WORKER_CRASHED,
+                    f"no live worker to recover session "
+                    f"{session.session_id} onto",
+                )
+            time.sleep(0.05)
+        try:
+            info = worker.request("recover", (session.session_id, params, epochs))
+        except ServiceError:
+            self.release(session)
+            raise
+        session._static_info = {
+            k: v for k, v in info.items() if k not in ("idle_s", "subscribers")
+        }
+        session.recover(worker, info.get("epochs_run", epochs))
+        obs_metrics.default_registry().counter(
+            "repro_service_sessions_recovered_total",
+            "Crashed sessions re-materialized from the telemetry ledger",
+        ).inc()
+        _log.info(
+            "session_recovered",
+            session=session.session_id,
+            worker=worker.index,
+            epochs_replayed=epochs,
+        )
+        return session
 
     # ------------------------------------------------------------ lifecycle
 

@@ -1,0 +1,85 @@
+"""Tests for the ledger root: provenance, meta, session directories."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.ledger import Ledger, config_key
+
+
+class TestConfigKey:
+    def test_stable_across_key_order(self):
+        a = config_key({"workload": "gups", "seed": 3})
+        b = config_key({"seed": 3, "workload": "gups"})
+        assert a == b
+
+    def test_different_configs_differ(self):
+        assert config_key({"seed": 1}) != config_key({"seed": 2})
+
+    def test_numpy_scalars_coerce(self):
+        assert config_key({"seed": np.int64(3)}) == config_key({"seed": 3})
+
+    def test_non_json_values_are_loud(self):
+        with pytest.raises(TypeError):
+            config_key({"workload": object()})
+
+
+class TestSessions:
+    def test_create_records_meta(self, tmp_path):
+        root = Ledger(tmp_path)
+        sl = root.create_session("s1", {"workload": "gups", "seed": 1})
+        sl.append("epoch", {"epoch": 0})
+        sl.close()
+        meta = root.load_meta("s1")
+        assert meta["session"] == "s1"
+        assert meta["config"] == {"workload": "gups", "seed": 1}
+        assert meta["config_key"] == config_key({"workload": "gups", "seed": 1})
+
+    def test_leftover_directory_is_archived_not_appended(self, tmp_path):
+        root = Ledger(tmp_path)
+        sl = root.create_session("s1", {"workload": "gups"})
+        sl.append("epoch", {"epoch": 0})
+        sl.close()
+        # A new server life reuses the id; the fresh ledger starts at 0
+        # and the stale records live on under an archived name.
+        sl2 = root.create_session("s1", {"workload": "xsbench"})
+        assert sl2.next_seq == 0
+        sl2.close()
+        archived = [
+            p for p in tmp_path.iterdir() if p.name.startswith("s1.")
+        ]
+        assert len(archived) == 1
+
+    def test_open_session_missing_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            Ledger(tmp_path).open_session("nope")
+
+    def test_load_meta_corrupt_is_none(self, tmp_path):
+        root = Ledger(tmp_path)
+        sl = root.create_session("s1", {"workload": "gups"})
+        sl.close()
+        (tmp_path / "s1" / "meta.json").write_text("{not json")
+        assert root.load_meta("s1") is None
+
+    def test_list_sessions_summarizes(self, tmp_path):
+        root = Ledger(tmp_path)
+        for i, name in enumerate(["gups", "xsbench"]):
+            sl = root.create_session(f"s{i + 1}", {"workload": name})
+            for e in range(i + 1):
+                sl.append("epoch", {"epoch": e})
+            sl.close()
+        listed = root.list_sessions()
+        assert [s["session"] for s in listed] == ["s1", "s2"]
+        assert [s["workload"] for s in listed] == ["gups", "xsbench"]
+        assert [s["epochs"] for s in listed] == [1, 2]
+        # Listing is read-only: no stray segment files appear.
+        for entry in listed:
+            segs = list((tmp_path / entry["session"]).glob("seg-*.jsonl"))
+            assert all(p.stat().st_size > 0 for p in segs)
+
+    def test_meta_is_valid_json_on_disk(self, tmp_path):
+        root = Ledger(tmp_path)
+        root.create_session("s1", {"workload": "gups"}).close()
+        meta = json.loads((tmp_path / "s1" / "meta.json").read_text())
+        assert meta["format"] >= 1

@@ -1,0 +1,170 @@
+"""Unit tests for the append-only segmented session ledger."""
+
+import json
+
+import pytest
+
+from repro.ledger.storage import SessionLedger
+
+
+def _fill(ledger, n, start=0):
+    for i in range(start, start + n):
+        ledger.append("epoch", {"epoch": i, "hitrate": i / 10})
+
+
+class TestAppendRead:
+    def test_appends_are_sequential_and_readable(self, tmp_path):
+        ledger = SessionLedger(tmp_path)
+        seqs = [ledger.append("epoch", {"epoch": i}) for i in range(5)]
+        assert seqs == [0, 1, 2, 3, 4]
+        records = list(ledger.read())
+        assert [r["seq"] for r in records] == [0, 1, 2, 3, 4]
+        assert [r["data"]["epoch"] for r in records] == [0, 1, 2, 3, 4]
+        assert all(r["event"] == "epoch" for r in records)
+        ledger.close()
+
+    def test_read_window_is_half_open(self, tmp_path):
+        ledger = SessionLedger(tmp_path)
+        _fill(ledger, 10)
+        assert [r["seq"] for r in ledger.read(3, 7)] == [3, 4, 5, 6]
+        assert [r["seq"] for r in ledger.read(8)] == [8, 9]
+        assert list(ledger.read(10)) == []
+        ledger.close()
+
+    def test_concurrent_reader_sees_flushed_records(self, tmp_path):
+        writer = SessionLedger(tmp_path)
+        _fill(writer, 3)
+        # A second handle over the same directory (the replay path
+        # opens its own) sees everything the writer flushed.
+        reader = SessionLedger(tmp_path)
+        assert [r["seq"] for r in reader.read()] == [0, 1, 2]
+        reader.close()
+        writer.close()
+
+    def test_append_after_close_raises(self, tmp_path):
+        ledger = SessionLedger(tmp_path)
+        ledger.append("epoch", {"epoch": 0})
+        ledger.close()
+        with pytest.raises(ValueError):
+            ledger.append("epoch", {"epoch": 1})
+
+    def test_fsync_policy_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            SessionLedger(tmp_path, fsync="sometimes")
+
+
+class TestRotation:
+    def test_rotation_seals_segments_with_sidecars(self, tmp_path):
+        ledger = SessionLedger(tmp_path, segment_bytes=256)
+        _fill(ledger, 20)
+        ledger.close()
+        segments = sorted(tmp_path.glob("seg-*.jsonl"))
+        sidecars = sorted(tmp_path.glob("seg-*.idx"))
+        assert len(segments) > 1
+        # Every sealed segment (all but the active tail) has an index.
+        assert len(sidecars) == len(segments) - 1
+        index = json.loads(sidecars[0].read_text())
+        assert index["first_seq"] == 0
+        assert len(index["offsets"]) == index["count"]
+        assert index["epochs"] == index["count"]
+
+    def test_read_spans_segment_boundaries_in_order(self, tmp_path):
+        ledger = SessionLedger(tmp_path, segment_bytes=128)
+        _fill(ledger, 30)
+        assert [r["seq"] for r in ledger.read()] == list(range(30))
+        # Seek-by-seq lands mid-chain via the sidecar offsets.
+        assert [r["seq"] for r in ledger.read(17, 20)] == [17, 18, 19]
+        ledger.close()
+
+
+class TestRecovery:
+    def test_reopen_resumes_numbering(self, tmp_path):
+        ledger = SessionLedger(tmp_path, segment_bytes=128)
+        _fill(ledger, 12)
+        ledger.close()
+        reopened = SessionLedger(tmp_path, segment_bytes=128)
+        assert reopened.next_seq == 12
+        assert reopened.epoch_count == 12
+        assert reopened.append("epoch", {"epoch": 12}) == 12
+        assert [r["seq"] for r in reopened.read()] == list(range(13))
+        reopened.close()
+
+    def test_torn_tail_is_truncated_not_fatal(self, tmp_path):
+        ledger = SessionLedger(tmp_path)
+        _fill(ledger, 5)
+        ledger.close()
+        seg = next(iter(sorted(tmp_path.glob("seg-*.jsonl"))))
+        with open(seg, "ab") as fh:
+            fh.write(b'{"seq": 5, "event": "epo')  # killed mid-append
+        reopened = SessionLedger(tmp_path)
+        assert reopened.next_seq == 5
+        assert [r["seq"] for r in reopened.read()] == [0, 1, 2, 3, 4]
+        # The torn bytes are gone; appends continue cleanly.
+        assert reopened.append("epoch", {"epoch": 5}) == 5
+        assert [r["seq"] for r in reopened.read()][-1] == 5
+        reopened.close()
+
+    def test_misnumbered_record_truncates_the_rest(self, tmp_path):
+        ledger = SessionLedger(tmp_path)
+        _fill(ledger, 3)
+        ledger.close()
+        seg = next(iter(sorted(tmp_path.glob("seg-*.jsonl"))))
+        with open(seg, "ab") as fh:
+            fh.write(b'{"seq": 99, "event": "epoch", "data": {}}\n')
+        reopened = SessionLedger(tmp_path)
+        assert reopened.next_seq == 3
+        reopened.close()
+
+    def test_interior_segment_missing_sidecar_is_resealed(self, tmp_path):
+        ledger = SessionLedger(tmp_path, segment_bytes=128)
+        _fill(ledger, 20)
+        ledger.close()
+        sidecar = sorted(tmp_path.glob("seg-*.idx"))[0]
+        sidecar.unlink()
+        reopened = SessionLedger(tmp_path, segment_bytes=128)
+        assert [r["seq"] for r in reopened.read()] == list(range(20))
+        assert sidecar.exists()  # rebuilt on reopen
+        reopened.close()
+
+
+class TestRetention:
+    def test_size_retention_drops_oldest_sealed_segments(self, tmp_path):
+        ledger = SessionLedger(
+            tmp_path, segment_bytes=128, retention_bytes=512
+        )
+        _fill(ledger, 60)
+        assert ledger.first_seq > 0
+        remaining = [r["seq"] for r in ledger.read()]
+        assert remaining == list(range(ledger.first_seq, 60))
+        # Reading below first_seq just starts at the oldest survivor.
+        assert [r["seq"] for r in ledger.read(0)][0] == ledger.first_seq
+        total = sum(p.stat().st_size for p in tmp_path.glob("seg-*.jsonl"))
+        assert total <= 512 + 256  # at most one overfull boundary
+        ledger.close()
+
+    def test_age_retention_drops_old_segments(self, tmp_path):
+        import os
+        import time
+
+        ledger = SessionLedger(
+            tmp_path, segment_bytes=128, retention_age_s=3600
+        )
+        _fill(ledger, 12)
+        sealed = sorted(tmp_path.glob("seg-*.jsonl"))[0]
+        old = time.time() - 7200
+        os.utime(sealed, (old, old))
+        assert ledger.compact() >= 1
+        assert ledger.first_seq > 0
+        ledger.close()
+
+    def test_stats_reports_shape(self, tmp_path):
+        ledger = SessionLedger(tmp_path, segment_bytes=128)
+        _fill(ledger, 10)
+        ledger.append("error", {"code": "evicted"})
+        stats = ledger.stats()
+        assert stats["next_seq"] == 11
+        assert stats["epochs"] == 10
+        assert stats["first_seq"] == 0
+        assert stats["segments"] >= 1
+        assert stats["bytes"] > 0
+        ledger.close()

@@ -1,0 +1,316 @@
+"""Server-level ledger tests: from_seq replay, goodbyes, bounded close.
+
+The acceptance scenario rides here: many concurrent ledgered sessions
+whose replayed streams are bit-identical to both their live streams
+and direct simulator runs, with seq numbering continuous across the
+disk→live handoff.
+"""
+
+import asyncio
+
+from repro.memsim import MachineConfig
+from repro.service import ServiceError, ServiceServer
+from repro.service.telemetry import epoch_metrics_to_dict
+from repro.tiering import TieredSimulator
+from repro.tiering.policies import POLICIES
+from repro.workloads import WORKLOAD_NAMES, make_workload
+
+from .test_server import SMALL, WireClient, run_async
+
+
+async def _start_server(**kw):
+    kw.setdefault("port", 0)
+    kw.setdefault("reap_interval_s", 0)
+    server = ServiceServer(**kw)
+    await server.start()
+    return server
+
+
+class TestFromSeqReplay:
+    """``subscribe(from_seq=...)``: exactly-once, in-order, bit-identical."""
+
+    def test_eight_sessions_replay_equals_live_and_direct(self, tmp_path):
+        epochs = 3
+        names = list(WORKLOAD_NAMES)[:8]
+
+        async def drive(address, name, seed):
+            client = await WireClient.open(address)
+            try:
+                info = await client.request(
+                    "create_session",
+                    workload=name,
+                    seed=seed,
+                    tier1_ratio=0.125,
+                    workload_kwargs=dict(SMALL),
+                )
+                sid = info["session"]
+                await client.request("subscribe", session=sid, max_queue=32)
+                await client.request("step", session=sid, epochs=epochs)
+                live = [await client.next_event() for _ in range(epochs)]
+                # A late subscriber replays the whole history from disk.
+                sub = await client.request(
+                    "subscribe", session=sid, from_seq=0
+                )
+                assert sub["replayed"] == epochs
+                assert sub["dropped"] == 0
+                assert sub["live_seq"] == epochs
+                replayed = [
+                    await client.next_event() for _ in range(epochs)
+                ]
+                replayed = [
+                    f for f in replayed
+                    if f["subscription"] == sub["subscription"]
+                ]
+                await client.request("close_session", session=sid)
+                return name, live, replayed
+            finally:
+                await client.close()
+
+        async def main():
+            server = await _start_server(
+                max_sessions=8,
+                step_workers=8,
+                ledger_dir=str(tmp_path),
+            )
+            try:
+                return await asyncio.gather(
+                    *(
+                        drive(server.address, name, seed)
+                        for seed, name in enumerate(names)
+                    )
+                )
+            finally:
+                await server.drain()
+
+        results = run_async(main())
+        assert len(results) == 8
+        for seed, (name, live, replayed) in enumerate(results):
+            # Replay is exactly-once and in order, with the same
+            # session-global seq numbers the live stream used.
+            assert [f["seq"] for f in live] == list(range(len(live)))
+            assert [f["seq"] for f in replayed] == [f["seq"] for f in live]
+            assert [f["data"] for f in replayed] == [f["data"] for f in live]
+            sim = TieredSimulator(
+                make_workload(name, **SMALL),
+                POLICIES["history"](),
+                tier1_ratio=0.125,
+                machine_config=MachineConfig.scaled(ibs_period=16),
+                seed=seed,
+            )
+            sim.run(epochs=len(live))
+            direct = [epoch_metrics_to_dict(m) for m in sim.result.epochs]
+            assert [f["data"] for f in replayed] == direct
+
+    def test_from_seq_mid_stream_splices_into_live_tail(self, tmp_path):
+        async def main():
+            server = await _start_server(ledger_dir=str(tmp_path))
+            try:
+                client = await WireClient.open(server.address)
+                info = await client.request(
+                    "create_session",
+                    workload="gups",
+                    workload_kwargs=dict(SMALL),
+                )
+                sid = info["session"]
+                await client.request("step", session=sid, epochs=4)
+                sub = await client.request(
+                    "subscribe", session=sid, from_seq=2
+                )
+                assert sub["replayed"] == 2 and sub["live_seq"] == 4
+                await client.request("step", session=sid, epochs=2)
+                frames = [await client.next_event() for _ in range(4)]
+                # 2 replayed (seq 2,3) then 2 live (seq 4,5): gap-free.
+                assert [f["seq"] for f in frames] == [2, 3, 4, 5]
+                assert [f["data"]["epoch"] for f in frames] == [2, 3, 4, 5]
+                assert all(f["dropped"] == 0 for f in frames)
+                await client.close()
+            finally:
+                await server.drain()
+
+        run_async(main())
+
+    def test_from_seq_without_ledger_is_bad_params(self):
+        async def main():
+            server = await _start_server()
+            try:
+                client = await WireClient.open(server.address)
+                info = await client.request(
+                    "create_session",
+                    workload="gups",
+                    workload_kwargs=dict(SMALL),
+                )
+                try:
+                    await client.request(
+                        "subscribe", session=info["session"], from_seq=0
+                    )
+                    raise AssertionError("from_seq should need a ledger")
+                except ServiceError as exc:
+                    assert exc.code == "bad_params"
+                await client.close()
+            finally:
+                await server.drain()
+
+        run_async(main())
+
+    def test_from_seq_validation(self, tmp_path):
+        async def main():
+            server = await _start_server(ledger_dir=str(tmp_path))
+            try:
+                client = await WireClient.open(server.address)
+                info = await client.request(
+                    "create_session",
+                    workload="gups",
+                    workload_kwargs=dict(SMALL),
+                )
+                for bad in (-1, "zero", 1.5):
+                    try:
+                        await client.request(
+                            "subscribe", session=info["session"], from_seq=bad
+                        )
+                        raise AssertionError(f"from_seq={bad!r} accepted")
+                    except ServiceError as exc:
+                        assert exc.code == "bad_params"
+                await client.close()
+            finally:
+                await server.drain()
+
+        run_async(main())
+
+
+class TestStructuredGoodbyes:
+    """Evictions and drains announce themselves before detaching."""
+
+    def test_idle_eviction_pushes_evicted_frame(self, tmp_path):
+        async def main():
+            server = await _start_server(
+                idle_ttl_s=0.05, reap_interval_s=0.05
+            )
+            try:
+                client = await WireClient.open(server.address)
+                info = await client.request(
+                    "create_session",
+                    workload="gups",
+                    workload_kwargs=dict(SMALL),
+                )
+                sid = info["session"]
+                await client.request("step", session=sid, epochs=1)
+                await client.request("subscribe", session=sid)
+                # The subscribe touched the session; now let it idle
+                # out.  The goodbye is the subscriber's first frame
+                # (it attached after the epoch), numbered *past* the
+                # epoch frame — seq accounting survives the eviction.
+                frame = await client.next_event()
+                assert frame["event"] == "error"
+                assert frame["data"]["code"] == "evicted"
+                assert frame["seq"] == 1
+                listed = await client.request("list_sessions")
+                assert listed["sessions"] == []
+                await client.close()
+            finally:
+                await server.drain()
+
+        run_async(main())
+
+    def test_drain_pushes_server_drain_frame(self):
+        async def main():
+            server = await _start_server()
+            client = await WireClient.open(server.address)
+            info = await client.request(
+                "create_session",
+                workload="gups",
+                workload_kwargs=dict(SMALL),
+            )
+            await client.request("subscribe", session=info["session"])
+            await server.drain()
+            frame = await client.next_event()
+            assert frame["event"] == "error"
+            assert frame["data"]["code"] == "server_drain"
+            assert info["session"] in frame["data"]["message"]
+
+        run_async(main())
+
+
+class TestBoundedClose:
+    def test_close_session_epoch_window(self):
+        async def main():
+            server = await _start_server()
+            try:
+                client = await WireClient.open(server.address)
+                info = await client.request(
+                    "create_session",
+                    workload="gups",
+                    workload_kwargs=dict(SMALL),
+                )
+                sid = info["session"]
+                await client.request("step", session=sid, epochs=6)
+                closed = await client.request(
+                    "close_session",
+                    session=sid,
+                    include_epochs=True,
+                    epochs_from=2,
+                    epochs_to=5,
+                )
+                result = closed["result"]
+                assert result["epochs_from"] == 2
+                assert result["epochs_to"] == 5
+                assert [e["epoch"] for e in result["epochs"]] == [2, 3, 4]
+                assert result["epochs_run"] == 6  # summary still global
+                await client.close()
+            finally:
+                await server.drain()
+
+        run_async(main())
+
+    def test_close_session_window_validation(self):
+        async def main():
+            server = await _start_server()
+            try:
+                client = await WireClient.open(server.address)
+                info = await client.request(
+                    "create_session",
+                    workload="gups",
+                    workload_kwargs=dict(SMALL),
+                )
+                try:
+                    await client.request(
+                        "close_session",
+                        session=info["session"],
+                        epochs_from=-1,
+                    )
+                    raise AssertionError("negative epochs_from accepted")
+                except ServiceError as exc:
+                    assert exc.code == "bad_params"
+                await client.close()
+            finally:
+                await server.drain()
+
+        run_async(main())
+
+
+class TestServerInfo:
+    def test_ledger_visibility(self, tmp_path):
+        async def main():
+            server = await _start_server(ledger_dir=str(tmp_path))
+            try:
+                client = await WireClient.open(server.address)
+                info = await client.request("server_info")
+                assert info["ledger"]["root"] == str(tmp_path)
+                assert info["ledger"]["fsync"] == "rotate"
+                await client.close()
+            finally:
+                await server.drain()
+
+        run_async(main())
+
+    def test_no_ledger_reports_none(self):
+        async def main():
+            server = await _start_server()
+            try:
+                client = await WireClient.open(server.address)
+                info = await client.request("server_info")
+                assert info["ledger"] is None
+                await client.close()
+            finally:
+                await server.drain()
+
+        run_async(main())

@@ -43,6 +43,38 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["serve", "--workers", "-1"])
 
+    def test_serve_ledger_defaults_and_options(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.ledger_dir is None
+        assert args.ledger_fsync == "rotate"
+        assert args.ledger_retention_bytes is None
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--ledger-dir", "/tmp/led",
+                "--ledger-fsync", "always",
+                "--ledger-retention-bytes", "1048576",
+            ]
+        )
+        assert args.ledger_dir == "/tmp/led"
+        assert args.ledger_fsync == "always"
+        assert args.ledger_retention_bytes == 1048576
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--ledger-fsync", "maybe"])
+
+    def test_ledger_subcommands(self):
+        args = build_parser().parse_args(["ledger", "list", "/tmp/led"])
+        assert args.command == "ledger"
+        assert args.ledger_command == "list"
+        args = build_parser().parse_args(
+            ["ledger", "cat", "/tmp/led", "s1", "--from-seq", "3", "--to-seq", "9"]
+        )
+        assert (args.session, args.from_seq, args.to_seq) == ("s1", 3, 9)
+        args = build_parser().parse_args(["ledger", "replay", "/tmp/led", "s1"])
+        assert args.ledger_command == "replay"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ledger"])  # subcommand required
+
     def test_profile_defaults(self):
         args = build_parser().parse_args(["profile", "gups"])
         assert args.command == "profile"
@@ -129,6 +161,35 @@ class TestCommands:
         )
         out = capsys.readouterr().out
         assert "hitrate=" in out
+
+    def test_ledger_list_and_cat(self, capsys, tmp_path):
+        from repro.ledger import Ledger
+
+        ledger = Ledger(tmp_path)
+        session = ledger.create_session(
+            "s1", {"workload": "gups", "epochs": 2}, info={"tier1_capacity": 64}
+        )
+        session.append("epoch", {"epoch": 0, "hitrate": 0.5})
+        session.append("epoch", {"epoch": 1, "hitrate": 0.6})
+        session.close()
+
+        assert main(["ledger", "list", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "s1: workload=gups" in out
+        assert "seq=[0, 2)" in out
+
+        assert main(["ledger", "cat", str(tmp_path), "s1", "--from-seq", "1"]) == 0
+        import json
+
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record["seq"] == 1
+        assert record["data"]["hitrate"] == 0.6
+
+    def test_ledger_cat_missing_session(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["ledger", "cat", str(tmp_path), "nope"])
 
     def test_evaluate_unknown_policy(self, tmp_path):
         target = str(tmp_path / "run.npz")

@@ -1,0 +1,50 @@
+"""Tests for the shared atomic-write helpers (cache + ledger reuse)."""
+
+import pytest
+
+from repro.ioutil import atomic_output, atomic_write_bytes
+
+
+class TestAtomicOutput:
+    def test_success_renames_into_place(self, tmp_path):
+        target = tmp_path / "out.json"
+        with atomic_output(target) as tmp:
+            tmp.write_bytes(b"{}")
+            assert not target.exists()  # nothing visible mid-write
+        assert target.read_bytes() == b"{}"
+        assert list(tmp_path.iterdir()) == [target]  # tmp cleaned up
+
+    def test_failure_leaves_no_partial_file(self, tmp_path):
+        target = tmp_path / "out.json"
+        with pytest.raises(RuntimeError):
+            with atomic_output(target) as tmp:
+                tmp.write_bytes(b"partial")
+                raise RuntimeError("writer died")
+        assert not target.exists()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_tmp_name_preserves_suffix(self, tmp_path):
+        # np.savez appends its own .npz to suffixless paths, so the
+        # temp file must keep the target's suffix.
+        with atomic_output(tmp_path / "run.npz") as tmp:
+            assert tmp.suffix == ".npz"
+            tmp.write_bytes(b"x")
+
+    def test_overwrites_existing_target(self, tmp_path):
+        target = tmp_path / "out.bin"
+        target.write_bytes(b"old")
+        with atomic_output(target) as tmp:
+            tmp.write_bytes(b"new")
+        assert target.read_bytes() == b"new"
+
+
+class TestAtomicWriteBytes:
+    def test_roundtrip(self, tmp_path):
+        target = tmp_path / "blob"
+        atomic_write_bytes(target, b"hello")
+        assert target.read_bytes() == b"hello"
+
+    def test_durable_roundtrip(self, tmp_path):
+        target = tmp_path / "blob"
+        atomic_write_bytes(target, b"hello", durable=True)
+        assert target.read_bytes() == b"hello"

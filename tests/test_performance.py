@@ -182,6 +182,20 @@ class TestRunnerThroughput:
             f"per-pair median {report['pair_fraction']:.2%})"
         )
 
+    def test_ledger_overhead_under_5_percent(self):
+        # Acceptance: persisting every epoch frame to the telemetry
+        # ledger (default fsync="rotate") costs < 5% step throughput
+        # on an 8-session stepped run vs the same run without a
+        # ledger.  Same two-estimator noise defence as the metrics
+        # overhead guard above.
+        bench = _load_bench_service()
+        report = bench.run_ledger_overhead(sessions=8, epochs=24, repeats=8)
+        assert report["overhead_fraction"] < 0.05, (
+            f"ledger overhead {report['overhead_fraction']:.2%} "
+            f"(floor {report['floor_fraction']:.2%}, "
+            f"per-pair median {report['pair_fraction']:.2%})"
+        )
+
 
 class TestTinyBatches:
     @pytest.mark.parametrize("n", [0, 1, 2])
