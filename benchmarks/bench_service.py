@@ -52,12 +52,17 @@ def run_scenario(
     epochs: int = DEFAULT_EPOCHS,
     chunk: int = STEP_CHUNK,
     ledger_dir: str | None = None,
+    subscribe: bool = False,
 ) -> dict:
     """Step ``sessions`` concurrent sessions; return the timing record.
 
     Every client thread creates its own session, warms it up with one
     epoch (excluded from timing), then all threads step ``epochs``
     epochs in ``chunk``-sized requests between two barriers.
+
+    ``subscribe=True`` attaches every session to its own event stream
+    first, putting the subscriber fan-out (``SubscriberQueue.push``,
+    one frame per epoch) on the measured path.
     """
     start_barrier = threading.Barrier(sessions + 1)
     done_barrier = threading.Barrier(sessions + 1)
@@ -78,6 +83,8 @@ def run_scenario(
                     sid = client.create_session(
                         "gups", seed=seed, workload_kwargs=dict(WORKLOAD_KWARGS)
                     )["session"]
+                    if subscribe:
+                        client.subscribe(sid, max_queue=epochs + 8)
                     client.step(sid, epochs=1)  # warmup: JIT-ish caches, pages
                     start_barrier.wait()
                     for _ in range(0, epochs, chunk):
@@ -145,20 +152,28 @@ def run_metrics_overhead(
     under sustained correlated drift).  A real regression inflates
     every enabled run and therefore moves both; noise rarely moves
     both at once.
+
+    Every session is subscribed to its own event stream, so the
+    per-epoch subscriber fan-out (``SubscriberQueue.push``, which
+    bumps the frame/drop counters on every single frame) is inside the
+    measured region — that hot path must resolve cached metric handles,
+    not re-walk the registry per frame.
     """
     records = {False: [], True: []}
     try:
         # Two discarded warmups: run times settle over the first few
         # runs (page cache, allocator, thread pools), and a run still
         # on that slope would bias whichever arm samples it.
-        run_scenario(0, sessions=sessions, epochs=epochs)
-        run_scenario(0, sessions=sessions, epochs=epochs)
+        run_scenario(0, sessions=sessions, epochs=epochs, subscribe=True)
+        run_scenario(0, sessions=sessions, epochs=epochs, subscribe=True)
         for i in range(repeats):
             order = (False, True) if i % 2 == 0 else (True, False)
             for enabled in order:
                 obs_metrics.configure(enabled)
                 records[enabled].append(
-                    run_scenario(0, sessions=sessions, epochs=epochs)
+                    run_scenario(
+                        0, sessions=sessions, epochs=epochs, subscribe=True
+                    )
                 )
     finally:
         obs_metrics.configure(True)

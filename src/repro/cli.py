@@ -180,6 +180,107 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="compact each session's oldest sealed segments above this size",
     )
+    p.add_argument(
+        "--tenant-quota", type=_positive_int, default=None, metavar="N",
+        help="max live sessions per tenant (create_session's tenant param); "
+        "over-quota creates are rejected with the `overloaded` error code",
+    )
+    p.add_argument(
+        "--max-inflight-steps", type=_positive_int, default=None, metavar="N",
+        help="global cap on concurrently executing steps; excess steps are "
+        "rejected with `overloaded` instead of queueing (load shedding)",
+    )
+
+    p = sub.add_parser(
+        "loadtest",
+        help="open-loop load test against a live `repro serve` "
+        "(docs/performance.md)",
+    )
+    target = p.add_mutually_exclusive_group()
+    target.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help="TCP address of a running server",
+    )
+    target.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="unix socket of a running server",
+    )
+    target.add_argument(
+        "--spawn", action="store_true",
+        help="spawn a throwaway `repro serve` subprocess for the run",
+    )
+    p.add_argument(
+        "--sessions", type=_positive_int, default=200,
+        help="total sessions to launch",
+    )
+    p.add_argument(
+        "--arrival-rate", type=float, default=100.0, metavar="PER_S",
+        help="mean session arrivals per second (Poisson, open loop)",
+    )
+    p.add_argument(
+        "--steps", type=_positive_int, default=3, metavar="N",
+        help="steps per session",
+    )
+    p.add_argument(
+        "--step-epochs", type=_positive_int, default=1, metavar="N",
+        help="epochs per step op",
+    )
+    p.add_argument("--workload", default="gups", help="workload for every session")
+    p.add_argument(
+        "--footprint-pages", type=_positive_int, default=256,
+        help="per-session workload footprint (kept small so one box can "
+        "host hundreds of concurrent sessions)",
+    )
+    p.add_argument(
+        "--accesses-per-epoch", type=_positive_int, default=1000,
+        help="per-session accesses simulated each epoch",
+    )
+    p.add_argument(
+        "--connections", type=_positive_int, default=4,
+        help="client connections the session population multiplexes over",
+    )
+    p.add_argument(
+        "--subscribe-fraction", type=float, default=0.25,
+        help="fraction of sessions that subscribe to their event stream",
+    )
+    p.add_argument(
+        "--stats-fraction", type=float, default=0.25,
+        help="probability of a stats call after each step",
+    )
+    p.add_argument(
+        "--tenants", type=_positive_int, default=1,
+        help="spread creates across this many tenant names (t0, t1, ...)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--timeout", type=float, default=300.0, metavar="SECONDS",
+        help="hard wall-clock cap on the run",
+    )
+    p.add_argument(
+        "--out", default="BENCH_load.json", metavar="PATH",
+        help="report path (atomic write)",
+    )
+    p.add_argument(
+        "--slo-step-p99", type=float, default=None, metavar="SECONDS",
+        help="fail (exit 1) when step p99 latency exceeds this",
+    )
+    # --spawn server shape; ignored with --connect/--socket.
+    p.add_argument(
+        "--spawn-max-sessions", type=_positive_int, default=None, metavar="N",
+        help="--max-sessions for the spawned server (default: sessions)",
+    )
+    p.add_argument(
+        "--spawn-workers", type=_nonnegative_int, default=0, metavar="N",
+        help="--workers for the spawned server (default 0: in-process steps)",
+    )
+    p.add_argument(
+        "--spawn-tenant-quota", type=_positive_int, default=None, metavar="N",
+        help="--tenant-quota for the spawned server",
+    )
+    p.add_argument(
+        "--spawn-max-inflight-steps", type=_positive_int, default=None,
+        metavar="N", help="--max-inflight-steps for the spawned server",
+    )
 
     p = sub.add_parser(
         "ledger", help="inspect a service telemetry ledger (docs/service.md)"
@@ -258,6 +359,7 @@ def main(argv=None) -> int:
         "record": _cmd_record,
         "evaluate": _cmd_evaluate,
         "serve": _cmd_serve,
+        "loadtest": _cmd_loadtest,
         "ledger": _cmd_ledger,
     }[args.command]
     return handler(args)
@@ -586,6 +688,8 @@ def _cmd_serve(args) -> int:
             ledger_dir=ledger_dir,
             ledger_fsync=args.ledger_fsync,
             ledger_retention_bytes=args.ledger_retention_bytes,
+            tenant_quota=args.tenant_quota,
+            max_inflight_steps=args.max_inflight_steps,
         )
         await server.start()
         if isinstance(server.address, tuple):
@@ -613,6 +717,134 @@ def _cmd_serve(args) -> int:
         print("repro service drained, exiting", flush=True)
 
     asyncio.run(_serve())
+    return 0
+
+
+def _spawn_server(args, socket_path: str):
+    """Start a throwaway `repro serve` subprocess on a unix socket.
+
+    Returns the Popen handle once the socket accepts connections.
+    """
+    import socket as socketlib
+    import subprocess
+    import time as timelib
+
+    cmd = [
+        sys.executable, "-m", "repro", "serve",
+        "--socket", socket_path,
+        "--max-sessions", str(args.spawn_max_sessions or args.sessions),
+        "--workers", str(args.spawn_workers),
+    ]
+    if args.spawn_tenant_quota is not None:
+        cmd += ["--tenant-quota", str(args.spawn_tenant_quota)]
+    if args.spawn_max_inflight_steps is not None:
+        cmd += ["--max-inflight-steps", str(args.spawn_max_inflight_steps)]
+    proc = subprocess.Popen(cmd)
+    deadline = timelib.monotonic() + 30.0
+    while timelib.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise SystemExit(
+                f"spawned server exited early (code {proc.returncode})"
+            )
+        try:
+            probe = socketlib.socket(socketlib.AF_UNIX, socketlib.SOCK_STREAM)
+            probe.connect(socket_path)
+            probe.close()
+            return proc
+        except OSError:
+            timelib.sleep(0.05)
+    proc.terminate()
+    raise SystemExit("spawned server did not come up within 30s")
+
+
+def _cmd_loadtest(args) -> int:
+    import json
+    import signal
+    import tempfile
+
+    from .loadgen import LoadTestConfig, run_load_test, write_report
+
+    config = LoadTestConfig(
+        sessions=args.sessions,
+        arrival_rate=args.arrival_rate,
+        steps_per_session=args.steps,
+        epochs_per_step=args.step_epochs,
+        workload=args.workload,
+        workload_kwargs={
+            "footprint_pages": args.footprint_pages,
+            "accesses_per_epoch": args.accesses_per_epoch,
+        },
+        connections=args.connections,
+        subscribe_fraction=args.subscribe_fraction,
+        stats_fraction=args.stats_fraction,
+        tenants=args.tenants,
+        seed=args.seed,
+        timeout_s=args.timeout,
+    )
+    proc = None
+    tmpdir = None
+    if args.connect:
+        host, _, port = args.connect.rpartition(":")
+        if not host or not port.isdigit():
+            raise SystemExit(f"--connect wants HOST:PORT, got {args.connect!r}")
+        address = (host, int(port))
+    elif args.socket:
+        address = args.socket
+    elif args.spawn:
+        tmpdir = tempfile.TemporaryDirectory(prefix="repro-loadtest-")
+        socket_path = os.path.join(tmpdir.name, "serve.sock")
+        proc = _spawn_server(args, socket_path)
+        address = socket_path
+    else:
+        raise SystemExit("pick a target: --connect, --socket, or --spawn")
+    try:
+        report = run_load_test(
+            address, config, slo_step_p99_s=args.slo_step_p99
+        )
+    finally:
+        if proc is not None:
+            proc.send_signal(signal.SIGTERM)  # drain gracefully
+            try:
+                proc.wait(timeout=15)
+            except Exception:
+                proc.kill()
+                proc.wait()
+        if tmpdir is not None:
+            tmpdir.cleanup()
+    write_report(args.out, report)
+    sessions = report["sessions"]
+    print(
+        f"loadtest: {sessions['completed']}/{sessions['target']} sessions "
+        f"completed (peak concurrent {sessions['peak_concurrent']}, "
+        f"rejected {sum(sessions['rejected'].values())}, "
+        f"evicted mid-life {sessions['evicted_midlife']}) "
+        f"in {report['wall_s']:.2f}s -> {args.out}"
+    )
+    for op, stats in sorted(report["ops"].items()):
+        if stats.get("count"):
+            print(
+                f"  {op:>10}: n={stats['count']:<6} "
+                f"p50={stats['p50_s'] * 1e3:.2f}ms "
+                f"p99={stats['p99_s'] * 1e3:.2f}ms "
+                f"max={stats['max_s'] * 1e3:.2f}ms "
+                f"errors={json.dumps(stats['errors'])}"
+            )
+        else:
+            print(f"  {op:>10}: n=0 errors={json.dumps(stats['errors'])}")
+    slo = report["slo"]
+    if slo["ok"] is False:
+        observed = slo["step_p99_s"]
+        shown = "n/a" if observed is None else f"{observed * 1e3:.2f}ms"
+        print(
+            f"SLO FAIL: step p99 {shown} exceeds "
+            f"{slo['threshold_s'] * 1e3:.2f}ms"
+        )
+        return 1
+    if slo["ok"]:
+        print(
+            f"SLO ok: step p99 {slo['step_p99_s'] * 1e3:.2f}ms <= "
+            f"{slo['threshold_s'] * 1e3:.2f}ms"
+        )
     return 0
 
 

@@ -1,0 +1,367 @@
+"""The open-loop load generator: session mix, arrivals, overload handling.
+
+:func:`run_load_test` drives one ``repro serve`` instance with a
+population of short-lived profiling sessions.  Arrival is **open
+loop**: session tasks launch on a Poisson schedule at
+``arrival_rate`` sessions/s regardless of how many are still running,
+so a struggling server accumulates concurrency and latency instead of
+silently slowing the generator down.  Each session task walks the real
+client lifecycle — ``create_session`` (with a tenant drawn round-robin
+from ``tenants``), optionally ``subscribe``, a loop of ``step`` ops
+interleaved with occasional ``stats``, then ``close_session`` — and
+every op's latency and outcome lands in a
+:class:`~repro.loadgen.report.LatencyRecorder`.
+
+Backpressure is handled the way a production client would: an
+``overloaded`` rejection (tenant quota on create, in-flight step limit
+on step) is counted, backed off with jitter, and retried a bounded
+number of times; ``unknown_session`` mid-life means the server evicted
+us and the task ends.  Event frames stream through the shared
+connections' reader tasks into per-subscription accounting, so the
+report can state exactly how many frames were delivered, how many the
+server shed (drop-oldest), and how many structured goodbyes
+(``evicted`` / ``server_drain`` / ``worker_crashed``) arrived.
+
+Connections are a small shared pool (``connections``), sized
+independently of the session population: thousands of sessions
+multiplex over a handful of sockets via
+:class:`~repro.loadgen.aioclient.AsyncServiceClient`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import asdict, dataclass, field
+
+from ..obs import log as obs_log
+from ..obs import metrics as obs_metrics
+from ..service.protocol import ErrorCode, ServiceError
+from .aioclient import AsyncServiceClient
+from .report import LatencyRecorder, build_report
+
+__all__ = ["LoadTestConfig", "run_load_test", "run_load_test_async"]
+
+_log = obs_log.get_logger("loadgen")
+
+#: Small default footprint so a single box can host hundreds of
+#: concurrent simulator sessions without swapping.
+DEFAULT_WORKLOAD_KWARGS = {"footprint_pages": 256, "accesses_per_epoch": 1000}
+
+
+@dataclass
+class LoadTestConfig:
+    """Everything that shapes one load-test run (embedded in the report)."""
+
+    sessions: int = 200
+    #: Mean session arrivals per second (Poisson; open loop).
+    arrival_rate: float = 100.0
+    steps_per_session: int = 3
+    epochs_per_step: int = 1
+    workload: str = "gups"
+    workload_kwargs: dict = field(default_factory=lambda: dict(DEFAULT_WORKLOAD_KWARGS))
+    #: Shared client connections the session population multiplexes over.
+    connections: int = 4
+    #: Fraction of sessions that subscribe to their event stream.
+    subscribe_fraction: float = 0.25
+    #: Probability of a stats call after each step.
+    stats_fraction: float = 0.25
+    #: Distinct tenant names to spread creates across (t0, t1, ...).
+    tenants: int = 1
+    #: Idle pause between a session's steps, seconds.
+    think_s: float = 0.0
+    seed: int = 0
+    #: Bounded retries after an ``overloaded`` step rejection.
+    max_step_retries: int = 8
+    overload_backoff_s: float = 0.05
+    #: Hard wall-clock cap on the whole run.
+    timeout_s: float = 300.0
+
+    def __post_init__(self):
+        if self.sessions < 1:
+            raise ValueError(f"sessions must be >= 1, got {self.sessions}")
+        if self.arrival_rate <= 0:
+            raise ValueError(f"arrival_rate must be > 0, got {self.arrival_rate}")
+        if self.connections < 1:
+            raise ValueError(f"connections must be >= 1, got {self.connections}")
+        if self.tenants < 1:
+            raise ValueError(f"tenants must be >= 1, got {self.tenants}")
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+class _RunState:
+    """Mutable counters shared by every session task (single loop, no locks)."""
+
+    def __init__(self):
+        self.launched = 0
+        self.created = 0
+        self.completed = 0
+        self.live = 0
+        self.peak_concurrent = 0
+        self.rejected: dict[str, int] = {}
+        self.evicted_midlife = 0
+        self.step_overload_retries = 0
+        self.steps_abandoned = 0
+        # Event-stream accounting, fed by connection reader callbacks.
+        self.epoch_frames = 0
+        self.goodbyes: dict[str, int] = {}
+        self.other_events = 0
+        self._sub_last: dict[str, tuple[int, int]] = {}  # sub_id -> (seq, dropped)
+
+    def session_started(self):
+        self.created += 1
+        self.live += 1
+        self.peak_concurrent = max(self.peak_concurrent, self.live)
+
+    def session_finished(self):
+        self.live -= 1
+        self.completed += 1
+
+    def reject(self, code: str):
+        self.rejected[code] = self.rejected.get(code, 0) + 1
+
+    def on_event(self, frame: dict) -> None:
+        kind = frame.get("event")
+        sub = frame.get("subscription")
+        if sub is not None:
+            self._sub_last[sub] = (
+                int(frame.get("seq", 0)),
+                int(frame.get("dropped", 0)),
+            )
+        if kind == "epoch":
+            self.epoch_frames += 1
+        elif kind == "error":
+            code = (frame.get("data") or {}).get("code", "unknown")
+            self.goodbyes[code] = self.goodbyes.get(code, 0) + 1
+        else:
+            self.other_events += 1
+
+    def events_summary(self) -> dict:
+        received = self.epoch_frames + sum(self.goodbyes.values()) + self.other_events
+        return {
+            "epoch_frames": self.epoch_frames,
+            "goodbyes": dict(sorted(self.goodbyes.items())),
+            "other": self.other_events,
+            "received_total": received,
+            # Server-side sheds, summed from each subscription's final
+            # cumulative ``dropped`` counter.
+            "subscriber_dropped": sum(d for _, d in self._sub_last.values()),
+            "subscriptions_seen": len(self._sub_last),
+        }
+
+    def sessions_summary(self, target: int) -> dict:
+        return {
+            "target": target,
+            "launched": self.launched,
+            "created": self.created,
+            "completed": self.completed,
+            "rejected": dict(sorted(self.rejected.items())),
+            "evicted_midlife": self.evicted_midlife,
+            "peak_concurrent": self.peak_concurrent,
+            "step_overload_retries": self.step_overload_retries,
+            "steps_abandoned": self.steps_abandoned,
+        }
+
+
+async def _timed(recorder: LatencyRecorder, op: str, coro):
+    """Await ``coro``; record its latency on success, its code on error."""
+    t0 = time.perf_counter()
+    try:
+        result = await coro
+    except ServiceError as exc:
+        recorder.count_error(op, exc.code)
+        raise
+    recorder.record(op, time.perf_counter() - t0)
+    return result
+
+
+async def _session_task(
+    index: int,
+    client: AsyncServiceClient,
+    cfg: LoadTestConfig,
+    recorder: LatencyRecorder,
+    state: _RunState,
+    rng: random.Random,
+) -> None:
+    tenant = f"t{index % cfg.tenants}"
+    try:
+        created = await _timed(
+            recorder,
+            "create",
+            client.request(
+                "create_session",
+                workload=cfg.workload,
+                workload_kwargs=dict(cfg.workload_kwargs),
+                seed=cfg.seed + index,
+                tenant=tenant,
+            ),
+        )
+    except ServiceError as exc:
+        # Admission rejection (tenant quota -> overloaded, or global
+        # at_capacity): the session never existed.  Open loop: no retry,
+        # the rejection IS the datapoint.
+        state.reject(exc.code)
+        return
+    session_id = created["session"]
+    state.session_started()
+    evicted = False
+    try:
+        if rng.random() < cfg.subscribe_fraction:
+            try:
+                await _timed(
+                    recorder,
+                    "subscribe",
+                    client.request("subscribe", session=session_id, max_queue=32),
+                )
+            except ServiceError:
+                pass  # counted by _timed; session continues unsubscribed
+        for _ in range(cfg.steps_per_session):
+            for attempt in range(cfg.max_step_retries + 1):
+                try:
+                    await _timed(
+                        recorder,
+                        "step",
+                        client.request(
+                            "step", session=session_id, epochs=cfg.epochs_per_step
+                        ),
+                    )
+                    break
+                except ServiceError as exc:
+                    if exc.code == ErrorCode.OVERLOADED:
+                        state.step_overload_retries += 1
+                        if attempt >= cfg.max_step_retries:
+                            state.steps_abandoned += 1
+                            break
+                        # Jittered exponential-ish backoff.
+                        await asyncio.sleep(
+                            cfg.overload_backoff_s * (1 + attempt) * rng.uniform(0.5, 1.5)
+                        )
+                        continue
+                    if exc.code == ErrorCode.UNKNOWN_SESSION:
+                        state.evicted_midlife += 1
+                        evicted = True
+                        return
+                    raise
+            if evicted:
+                return
+            if cfg.stats_fraction and rng.random() < cfg.stats_fraction:
+                try:
+                    await _timed(
+                        recorder, "stats", client.request("stats", session=session_id)
+                    )
+                except ServiceError as exc:
+                    if exc.code == ErrorCode.UNKNOWN_SESSION:
+                        state.evicted_midlife += 1
+                        evicted = True
+                        return
+                    raise
+            if cfg.think_s > 0:
+                await asyncio.sleep(cfg.think_s)
+    finally:
+        if not evicted:
+            try:
+                await _timed(
+                    recorder,
+                    "close",
+                    client.request("close_session", session=session_id),
+                )
+            except ServiceError as exc:
+                if exc.code == ErrorCode.UNKNOWN_SESSION:
+                    state.evicted_midlife += 1
+                else:
+                    _log.warning(
+                        "close_failed", session=session_id, code=exc.code
+                    )
+            except ConnectionError:
+                pass
+        state.session_finished()
+
+
+async def run_load_test_async(
+    address,
+    config: LoadTestConfig,
+    *,
+    slo_step_p99_s: float | None = None,
+    registry: obs_metrics.MetricsRegistry | None = None,
+) -> dict:
+    """Run one load test against a live server; return the report dict.
+
+    ``address`` uses the same forms as the clients: a ``(host, port)``
+    pair/list for TCP or a string path for a unix socket.
+    """
+    cfg = config
+    recorder = LatencyRecorder(registry=registry)
+    state = _RunState()
+    rng = random.Random(cfg.seed)
+    clients = [
+        await AsyncServiceClient.connect(address=address, on_event=state.on_event)
+        for _ in range(cfg.connections)
+    ]
+    t0 = time.perf_counter()
+    try:
+        async with asyncio.timeout(cfg.timeout_s):
+            tasks = []
+            for i in range(cfg.sessions):
+                state.launched += 1
+                tasks.append(
+                    asyncio.ensure_future(
+                        _session_task(
+                            i, clients[i % len(clients)], cfg, recorder, state, rng
+                        )
+                    )
+                )
+                # Poisson inter-arrival: open loop — never await the
+                # session tasks here.
+                await asyncio.sleep(rng.expovariate(cfg.arrival_rate))
+            results = await asyncio.gather(*tasks, return_exceptions=True)
+        for result in results:
+            if isinstance(result, BaseException) and not isinstance(
+                result, (ServiceError, ConnectionError)
+            ):
+                raise result
+        server_info = None
+        try:
+            server_info = await clients[0].request("server_info")
+        except (ServiceError, ConnectionError):
+            pass
+    finally:
+        wall_s = time.perf_counter() - t0
+        for client in clients:
+            await client.close()
+    report = build_report(
+        cfg.to_dict(),
+        recorder,
+        wall_s=wall_s,
+        sessions=state.sessions_summary(cfg.sessions),
+        events=state.events_summary(),
+        slo_step_p99_s=slo_step_p99_s,
+        server_info=server_info,
+        registry=registry,
+    )
+    _log.info(
+        "loadtest_done",
+        wall_s=round(wall_s, 3),
+        created=state.created,
+        completed=state.completed,
+        peak=state.peak_concurrent,
+        rejected=sum(state.rejected.values()),
+    )
+    return report
+
+
+def run_load_test(
+    address,
+    config: LoadTestConfig,
+    *,
+    slo_step_p99_s: float | None = None,
+    registry: obs_metrics.MetricsRegistry | None = None,
+) -> dict:
+    """Synchronous wrapper: run the load test in a fresh event loop."""
+    return asyncio.run(
+        run_load_test_async(
+            address, config, slo_step_p99_s=slo_step_p99_s, registry=registry
+        )
+    )

@@ -1,0 +1,184 @@
+"""Latency recording and the ``BENCH_load.json`` report.
+
+Two recording paths, deliberately redundant: every operation latency
+is appended to an in-memory per-op list (exact quantiles — a load test
+lives or dies by its p99, and bucketed histograms quantize exactly
+where the SLO gate needs precision) *and* observed into the process
+:mod:`repro.obs` registry (``repro_loadgen_op_seconds`` /
+``repro_loadgen_ops_total``), so a loadtest run shows up in the same
+metrics plane as the server it is hammering.  The report embeds the
+``repro_loadgen_*`` slice of the registry snapshot next to the exact
+quantiles.
+
+The report writer is atomic (temp file + rename via
+:func:`repro.ioutil.atomic_write_bytes`): CI uploads
+``BENCH_load.json`` as an artifact and must never see a torn file.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from ..ioutil import atomic_write_bytes
+from ..obs import metrics as obs_metrics
+
+__all__ = [
+    "LatencyRecorder",
+    "build_report",
+    "evaluate_slo",
+    "percentile",
+    "write_report",
+]
+
+#: Buckets tuned for service-op latencies on a loaded box: 1 ms.. 30 s.
+OP_SECONDS_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+    0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Exact linear-interpolation percentile of an unsorted list.
+
+    ``q`` in [0, 100].  Raises ``ValueError`` on an empty list — a
+    missing distribution should fail loudly, not read as 0 latency.
+    """
+    if not values:
+        raise ValueError("percentile of empty list")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+class LatencyRecorder:
+    """Per-op latency lists + obs mirroring + outcome counts.
+
+    Single event-loop use: no locking.  ``record`` logs a successful
+    op's latency; ``count_error`` tallies a failed op by error code
+    (failed ops do not pollute the latency distributions — an
+    ``overloaded`` rejection is fast precisely because the server shed
+    it, and folding it in would flatter the percentiles).
+    """
+
+    def __init__(self, registry: obs_metrics.MetricsRegistry | None = None):
+        registry = registry if registry is not None else obs_metrics.default_registry()
+        self._latencies: dict[str, list[float]] = {}
+        self._errors: dict[str, dict[str, int]] = {}
+        self._hist = registry.histogram(
+            "repro_loadgen_op_seconds",
+            "Load-generator observed latency per service op",
+            labelnames=("op",),
+            buckets=OP_SECONDS_BUCKETS,
+        )
+        self._ops = registry.counter(
+            "repro_loadgen_ops_total",
+            "Load-generator operations by outcome",
+            labelnames=("op", "outcome"),
+        )
+
+    def record(self, op: str, seconds: float) -> None:
+        self._latencies.setdefault(op, []).append(seconds)
+        self._hist.observe(seconds, op=op)
+        self._ops.inc(op=op, outcome="ok")
+
+    def count_error(self, op: str, code: str) -> None:
+        per_op = self._errors.setdefault(op, {})
+        per_op[code] = per_op.get(code, 0) + 1
+        self._ops.inc(op=op, outcome=code)
+
+    def count(self, op: str) -> int:
+        return len(self._latencies.get(op, ()))
+
+    def latencies(self, op: str) -> list[float]:
+        return list(self._latencies.get(op, ()))
+
+    def ops(self) -> list[str]:
+        return sorted(set(self._latencies) | set(self._errors))
+
+    def summary(self) -> dict:
+        """Per-op stats: count, errors, mean and exact quantiles."""
+        out: dict[str, dict] = {}
+        for op in self.ops():
+            values = self._latencies.get(op, [])
+            entry: dict = {
+                "count": len(values),
+                "errors": dict(sorted(self._errors.get(op, {}).items())),
+            }
+            if values:
+                entry.update(
+                    mean_s=sum(values) / len(values),
+                    p50_s=percentile(values, 50),
+                    p90_s=percentile(values, 90),
+                    p99_s=percentile(values, 99),
+                    max_s=max(values),
+                )
+            out[op] = entry
+        return out
+
+
+def evaluate_slo(summary: dict, step_p99_s: float | None) -> dict:
+    """Judge the step-latency SLO against a run's op summary.
+
+    Returns ``{"step_p99_s": observed|None, "threshold_s": ..,
+    "ok": bool|None}``; ``ok`` is ``None`` when no threshold was set,
+    and ``False`` when a threshold was set but no step completed (a
+    run that finished zero steps has not met any latency promise).
+    """
+    observed = summary.get("step", {}).get("p99_s")
+    if step_p99_s is None:
+        return {"step_p99_s": observed, "threshold_s": None, "ok": None}
+    ok = observed is not None and observed <= step_p99_s
+    return {"step_p99_s": observed, "threshold_s": float(step_p99_s), "ok": ok}
+
+
+def build_report(
+    config: dict,
+    recorder: LatencyRecorder,
+    *,
+    wall_s: float,
+    sessions: dict,
+    events: dict,
+    slo_step_p99_s: float | None = None,
+    server_info: dict | None = None,
+    registry: obs_metrics.MetricsRegistry | None = None,
+) -> dict:
+    """Assemble the ``BENCH_load.json`` payload."""
+    summary = recorder.summary()
+    ok_ops = sum(e["count"] for e in summary.values())
+    report = {
+        "bench": "loadtest",
+        "generated_unix": time.time(),
+        "config": dict(config),
+        "wall_s": wall_s,
+        "sessions": dict(sessions),
+        "ops": summary,
+        "throughput": {
+            "ops_per_s": (ok_ops / wall_s) if wall_s > 0 else 0.0,
+            "ops_ok_total": ok_ops,
+        },
+        "events": dict(events),
+        "slo": evaluate_slo(summary, slo_step_p99_s),
+    }
+    if server_info is not None:
+        report["server"] = dict(server_info)
+    registry = registry if registry is not None else obs_metrics.default_registry()
+    report["metrics"] = {
+        name: entry
+        for name, entry in registry.snapshot().items()
+        if name.startswith("repro_loadgen_")
+    }
+    return report
+
+
+def write_report(path, report: dict) -> None:
+    """Atomically write the report as pretty JSON."""
+    payload = (json.dumps(report, indent=2, sort_keys=False) + "\n").encode()
+    atomic_write_bytes(path, payload)

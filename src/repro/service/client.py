@@ -134,7 +134,17 @@ class ServiceClient:
     def list_sessions(self) -> list[dict]:
         return self.request("list_sessions")["sessions"]
 
-    def create_session(self, workload: str, **params) -> dict:
+    def create_session(
+        self, workload: str, tenant: str | None = None, **params
+    ) -> dict:
+        """Create one profiling session.
+
+        ``tenant`` names the admission principal for per-tenant quota
+        accounting; over-quota creates fail with the ``overloaded``
+        error code (retry with backoff, or close a session first).
+        """
+        if tenant is not None:
+            params["tenant"] = tenant
         return self.request("create_session", workload=workload, **params)
 
     def step(self, session: str, epochs: int = 1) -> dict:

@@ -3,8 +3,17 @@
 Enforces the server's multi-tenancy envelope: at most ``max_sessions``
 live sessions (admission is checked *before* the expensive session
 construction, and the slot is reserved so concurrent creates cannot
-oversubscribe), and sessions idle longer than ``idle_ttl_s`` are
-evicted by the server's reaper task.
+oversubscribe), at most ``tenant_quota`` of them per tenant (the
+``tenant`` param on ``create_session``; over-quota creates are
+rejected with the structured ``overloaded`` error code), and sessions
+idle longer than ``idle_ttl_s`` are evicted by the server's reaper
+task — except sessions with an operation in flight (``session.busy``),
+which are never idle no matter how long the step runs.
+
+The ``repro_service_sessions_active`` gauge is published *inside* the
+registry lock at every mutation, so it always equals
+``len(list_sessions())`` at the instant it was set — concurrent
+creates/closes cannot publish stale counts out of order.
 
 Construction is pluggable: ``session_factory`` defaults to the
 in-process :class:`ProfilingSession`, and the worker-pool server swaps
@@ -32,10 +41,12 @@ def _metrics():
     return obs_metrics.default_registry()
 
 
-def _set_active(n: int) -> None:
-    _metrics().gauge(
-        "repro_service_sessions_active", "Live sessions in the manager"
-    ).set(n)
+def _reject(reason: str) -> None:
+    _metrics().counter(
+        "repro_service_sessions_rejected_total",
+        "Session creations refused by admission control",
+        labelnames=("reason",),
+    ).inc(reason=reason)
 
 
 class SessionManager:
@@ -47,59 +58,115 @@ class SessionManager:
         idle_ttl_s: float = 600.0,
         clock=time.monotonic,
         session_factory=ProfilingSession,
+        tenant_quota: int | None = None,
     ):
         if max_sessions < 1:
             raise ValueError(f"max_sessions must be >= 1, got {max_sessions}")
+        if tenant_quota is not None and tenant_quota < 1:
+            raise ValueError(f"tenant_quota must be >= 1, got {tenant_quota}")
         self.max_sessions = int(max_sessions)
+        #: Per-tenant cap on live sessions (None = unlimited).  Checked
+        #: at admission against live + reserved sessions of the tenant.
+        self.tenant_quota = None if tenant_quota is None else int(tenant_quota)
         self.idle_ttl_s = float(idle_ttl_s)
         self.session_factory = session_factory
         self._clock = clock
         self._lock = threading.Lock()
         self._sessions: dict[str, ProfilingSession] = {}
         self._reserved = 0
+        #: Live + reserved sessions per tenant (quota accounting).
+        self._tenant_count: dict[str, int] = {}
         self._next_id = 0
 
     def __len__(self) -> int:
         return len(self._sessions)
 
-    def create(self, **params) -> ProfilingSession:
-        """Admit and build one session; raises AT_CAPACITY when full.
+    def _publish_active_locked(self) -> None:
+        """Set the active-sessions gauge while holding ``_lock``.
 
-        The capacity slot is reserved under the lock but the (slow)
-        session construction happens outside it, so concurrent creates
-        neither oversubscribe nor serialize.
+        Publishing under the lock makes the gauge *ordered* with the
+        registry mutations: it can never report a value from an earlier
+        state after a later one (two concurrent closes racing the
+        unlocked publish used to leave the gauge one high forever).
         """
+        _metrics().gauge(
+            "repro_service_sessions_active", "Live sessions in the manager"
+        ).set(len(self._sessions))
+
+    def _release_tenant_locked(self, tenant: str) -> None:
+        count = self._tenant_count.get(tenant, 0) - 1
+        if count > 0:
+            self._tenant_count[tenant] = count
+        else:
+            self._tenant_count.pop(tenant, None)
+
+    def tenants(self) -> dict[str, int]:
+        """Live (admitted) session count per tenant."""
+        with self._lock:
+            counts: dict[str, int] = {}
+            for session in self._sessions.values():
+                tenant = getattr(session, "tenant", "default")
+                counts[tenant] = counts.get(tenant, 0) + 1
+            return counts
+
+    def create(self, **params) -> ProfilingSession:
+        """Admit and build one session.
+
+        Raises ``at_capacity`` when the server-wide limit is reached
+        and ``overloaded`` when the requesting tenant (the ``tenant``
+        param, default ``"default"``) is at its quota.  The capacity
+        slot is reserved under the lock but the (slow) session
+        construction happens outside it, so concurrent creates neither
+        oversubscribe nor serialize.
+        """
+        tenant = params.get("tenant", "default")
+        if not isinstance(tenant, str) or not tenant:
+            raise ServiceError(
+                ErrorCode.BAD_PARAMS, "tenant must be a non-empty string"
+            )
         with self._lock:
             if len(self._sessions) + self._reserved >= self.max_sessions:
-                _metrics().counter(
-                    "repro_service_sessions_rejected_total",
-                    "Session creations refused by admission control",
-                    labelnames=("reason",),
-                ).inc(reason="at_capacity")
+                _reject("at_capacity")
                 raise ServiceError(
                     ErrorCode.AT_CAPACITY,
                     f"session limit reached ({self.max_sessions})",
                 )
+            if (
+                self.tenant_quota is not None
+                and self._tenant_count.get(tenant, 0) >= self.tenant_quota
+            ):
+                _reject("tenant_quota")
+                raise ServiceError(
+                    ErrorCode.OVERLOADED,
+                    f"tenant {tenant!r} is at its session quota "
+                    f"({self.tenant_quota}); close a session or retry later",
+                )
             self._reserved += 1
+            self._tenant_count[tenant] = self._tenant_count.get(tenant, 0) + 1
             self._next_id += 1
             session_id = f"s{self._next_id}"
+        admitted = False
         try:
             session = self.session_factory(session_id, clock=self._clock, **params)
+            admitted = True
         except TypeError as exc:
             raise ServiceError(ErrorCode.BAD_PARAMS, str(exc)) from exc
         finally:
             with self._lock:
                 self._reserved -= 1
+                if not admitted:
+                    self._release_tenant_locked(tenant)
+        session.tenant = tenant
         with self._lock:
             self._sessions[session_id] = session
-            n_active = len(self._sessions)
+            self._publish_active_locked()
         _metrics().counter(
             "repro_service_sessions_created_total", "Sessions admitted and built"
         ).inc()
-        _set_active(n_active)
         _log.info(
             "session_created",
             session=session_id,
+            tenant=tenant,
             workload=params.get("workload"),
             worker=getattr(getattr(session, "worker", None), "index", None),
         )
@@ -123,7 +190,9 @@ class SessionManager:
         """
         with self._lock:
             session = self._sessions.pop(session_id, None)
-            n_active = len(self._sessions)
+            if session is not None:
+                self._release_tenant_locked(session.tenant)
+                self._publish_active_locked()
         if session is None:
             raise ServiceError(
                 ErrorCode.UNKNOWN_SESSION, f"no such session: {session_id!r}"
@@ -131,7 +200,6 @@ class SessionManager:
         _metrics().counter(
             "repro_service_sessions_closed_total", "Sessions closed by request"
         ).inc()
-        _set_active(n_active)
         _log.info("session_closed", session=session_id)
         return session.close(**close_kwargs)
 
@@ -139,16 +207,17 @@ class SessionManager:
         """Forget a session *without* closing it (worker-crash path:
         the session is already dead and its summary unrecoverable)."""
         with self._lock:
-            dropped = self._sessions.pop(session_id, None) is not None
-            n_active = len(self._sessions)
-        if dropped:
+            session = self._sessions.pop(session_id, None)
+            if session is not None:
+                self._release_tenant_locked(session.tenant)
+                self._publish_active_locked()
+        if session is not None:
             _metrics().counter(
                 "repro_service_sessions_crashed_total",
                 "Sessions lost to worker crashes",
             ).inc()
-            _set_active(n_active)
             _log.warning("session_crashed", session=session_id)
-        return dropped
+        return session is not None
 
     def close_all(self) -> list[str]:
         """Drain path: close every session, newest last.
@@ -160,6 +229,8 @@ class SessionManager:
         with self._lock:
             sessions = list(self._sessions.items())
             self._sessions.clear()
+            self._tenant_count.clear()
+            self._publish_active_locked()
         for sid, session in sessions:
             session._fanout(
                 "error",
@@ -172,11 +243,16 @@ class SessionManager:
             _metrics().counter(
                 "repro_service_sessions_closed_total", "Sessions closed by request"
             ).inc(len(sessions))
-        _set_active(0)
         return [sid for sid, _ in sessions]
 
     def evict_idle(self, now: float | None = None) -> list[str]:
-        """Close sessions idle longer than the TTL; returns their ids."""
+        """Close sessions idle longer than the TTL; returns their ids.
+
+        Sessions with an operation in flight (``busy``) are skipped: a
+        step that runs longer than the TTL is the opposite of idle, and
+        evicting it would close the simulator out from under the
+        stepping thread.
+        """
         if self.idle_ttl_s <= 0:
             return []
         now = self._clock() if now is None else now
@@ -184,10 +260,13 @@ class SessionManager:
             stale = [
                 sid
                 for sid, s in self._sessions.items()
-                if s.idle_s(now) > self.idle_ttl_s
+                if not s.busy and s.idle_s(now) > self.idle_ttl_s
             ]
             evicted = [(sid, self._sessions.pop(sid)) for sid in stale]
-            n_active = len(self._sessions)
+            for _, session in evicted:
+                self._release_tenant_locked(session.tenant)
+            if evicted:
+                self._publish_active_locked()
         for sid, session in evicted:
             # Structured goodbye before discard: consumers can tell an
             # idle-TTL eviction from a network failure.
@@ -206,7 +285,6 @@ class SessionManager:
                 "repro_service_sessions_evicted_total",
                 "Sessions evicted by the idle TTL",
             ).inc(len(evicted))
-            _set_active(n_active)
         return [sid for sid, _ in evicted]
 
     def list_sessions(self) -> list[dict]:

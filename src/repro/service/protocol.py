@@ -51,6 +51,7 @@ class ErrorCode:
     UNKNOWN_OP = "unknown_op"
     UNKNOWN_SESSION = "unknown_session"
     AT_CAPACITY = "at_capacity"      # admission limit reached
+    OVERLOADED = "overloaded"        # backpressure: quota or in-flight limit
     SHUTTING_DOWN = "shutting_down"  # server is draining
     WORKER_CRASHED = "worker_crashed"  # session lost to a dead worker
     EVICTED = "evicted"              # session closed by the idle TTL

@@ -109,6 +109,8 @@ class ServiceServer:
         socket_path: str | None = None,
         max_sessions: int = 16,
         idle_ttl_s: float = 600.0,
+        tenant_quota: int | None = None,
+        max_inflight_steps: int | None = None,
         step_workers: int | None = None,
         workers: int | None = 0,
         reap_interval_s: float = 5.0,
@@ -120,8 +122,17 @@ class ServiceServer:
         ledger_retention_age_s: float | None = None,
     ):
         self.manager = manager or SessionManager(
-            max_sessions=max_sessions, idle_ttl_s=idle_ttl_s
+            max_sessions=max_sessions,
+            idle_ttl_s=idle_ttl_s,
+            tenant_quota=tenant_quota,
         )
+        #: Global backpressure on stepping: at most this many ``step``
+        #: requests execute (or wait on an executor thread) at once;
+        #: excess requests are rejected immediately with a structured
+        #: ``overloaded`` error instead of queueing without bound and
+        #: dragging every tenant's latency down.  None/0 disables.
+        self.max_inflight_steps = max_inflight_steps or None
+        self._steps_inflight = 0
         self.host = host
         self.port = port
         self.socket_path = socket_path
@@ -445,6 +456,10 @@ class ServiceServer:
             "sessions": len(self.manager),
             "max_sessions": self.manager.max_sessions,
             "idle_ttl_s": self.manager.idle_ttl_s,
+            "tenant_quota": self.manager.tenant_quota,
+            "tenants": self.manager.tenants(),
+            "max_inflight_steps": self.max_inflight_steps,
+            "steps_inflight": self._steps_inflight,
             "draining": self._draining,
             "address": list(address) if isinstance(address, tuple) else address,
             "workers": self.workers,
@@ -477,7 +492,35 @@ class ServiceServer:
         epochs = params.get("epochs", 1)
         if not isinstance(epochs, int):
             raise ServiceError(ErrorCode.BAD_PARAMS, "epochs must be an integer")
-        return await self._run_blocking(session.step, epochs)
+        limit = self.max_inflight_steps
+        registry = obs_metrics.default_registry()
+        if limit is not None and self._steps_inflight >= limit:
+            # Load-shedding: reject *now* with the same structured
+            # {code, message} shape the goodbye frames carry, rather
+            # than queueing the step and inflating every tenant's p99.
+            registry.counter(
+                "repro_service_steps_rejected_total",
+                "Step requests shed by the in-flight concurrency limit",
+            ).inc()
+            raise ServiceError(
+                ErrorCode.OVERLOADED,
+                f"server overloaded: {self._steps_inflight} steps in flight "
+                f"(limit {limit}); retry with backoff",
+            )
+        # Counter mutations happen on the event loop only (before/after
+        # the await), so no lock is needed.
+        self._steps_inflight += 1
+        registry.gauge(
+            "repro_service_steps_inflight", "Step requests currently executing"
+        ).set(self._steps_inflight)
+        try:
+            return await self._run_blocking(session.step, epochs)
+        finally:
+            self._steps_inflight -= 1
+            registry.gauge(
+                "repro_service_steps_inflight",
+                "Step requests currently executing",
+            ).set(self._steps_inflight)
 
     async def _op_stats(self, conn, params) -> dict:
         session = self.manager.get(self._session_id(params))

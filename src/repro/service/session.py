@@ -45,6 +45,35 @@ __all__ = ["ProfilingSession", "SessionBase", "SubscriberQueue", "DEFAULT_MAX_QU
 #: Default per-subscriber frame buffer (drop-oldest beyond this).
 DEFAULT_MAX_QUEUE = 64
 
+#: Cached (registry, frames_counter, dropped_counter) for the fan-out
+#: hot path: ``SubscriberQueue.push`` runs once per frame per
+#: subscriber while ``_sub_lock`` is held, so it must not pay two
+#: registry lookups (each taking the registry lock) per frame.  Keyed
+#: by registry identity so tests that swap the default registry
+#: (:func:`obs_metrics.set_default_registry`) still record into the
+#: right one.
+_push_counters_cache: tuple | None = None
+
+
+def _push_counters():
+    global _push_counters_cache
+    registry = obs_metrics.default_registry()
+    cache = _push_counters_cache
+    if cache is None or cache[0] is not registry:
+        cache = (
+            registry,
+            registry.counter(
+                "repro_service_subscriber_frames_total",
+                "Frames pushed into subscriber queues",
+            ),
+            registry.counter(
+                "repro_service_subscriber_dropped_total",
+                "Frames shed (drop-oldest) by full subscriber queues",
+            ),
+        )
+        _push_counters_cache = cache
+    return cache[1], cache[2]
+
 
 class SubscriberQueue:
     """A bounded per-subscriber buffer of event frames.
@@ -88,18 +117,12 @@ class SubscriberQueue:
 
     def push(self, event: str, data: dict) -> dict:
         """Append one frame, dropping the oldest when full."""
-        registry = obs_metrics.default_registry()
-        registry.counter(
-            "repro_service_subscriber_frames_total",
-            "Frames pushed into subscriber queues",
-        ).inc()
+        frames_total, dropped_total = _push_counters()
+        frames_total.inc()
         if len(self._frames) >= self.max_queue:
             self._frames.popleft()
             self.dropped += 1
-            registry.counter(
-                "repro_service_subscriber_dropped_total",
-                "Frames shed (drop-oldest) by full subscriber queues",
-            ).inc()
+            dropped_total.inc()
         frame = {
             "event": event,
             "session": self.session_id,
@@ -133,13 +156,22 @@ class SessionBase:
     worker process and feeds frames back through :meth:`_fanout`.
     """
 
-    def __init__(self, session_id: str, clock=time.monotonic):
+    def __init__(self, session_id: str, clock=time.monotonic, tenant: str = "default"):
         self.session_id = session_id
+        #: Admission principal: per-tenant quotas in the manager count
+        #: live sessions by this key.
+        self.tenant = str(tenant)
         self._clock = clock
         self.created_s = clock()
         self.last_active_s = self.created_s
         self.closed = False
         self.metrics = RunnerMetrics(jobs=1)
+        #: In-flight blocking operations (steps in progress or queued on
+        #: the simulator lock).  A busy session is never idle, however
+        #: long the operation runs — the idle-TTL reaper must not close
+        #: a session out from under a live step.
+        self._activity_lock = threading.Lock()
+        self._inflight_ops = 0
         self._sub_lock = threading.Lock()
         self._subscribers: dict[str, SubscriberQueue] = {}
         self._next_sub = 0
@@ -160,6 +192,27 @@ class SessionBase:
 
     def idle_s(self, now: float | None = None) -> float:
         return (self._clock() if now is None else now) - self.last_active_s
+
+    def begin_op(self) -> None:
+        """Mark one blocking operation in flight (and touch).
+
+        Called *before* the operation's lock acquisition, so a step
+        queued behind another step already counts as activity.
+        """
+        with self._activity_lock:
+            self._inflight_ops += 1
+        self.touch()
+
+    def end_op(self) -> None:
+        with self._activity_lock:
+            self._inflight_ops -= 1
+        self.touch()
+
+    @property
+    def busy(self) -> bool:
+        """True while any blocking operation is in flight."""
+        with self._activity_lock:
+            return self._inflight_ops > 0
 
     # ---------------------------------------------------------- subscribers
 
@@ -273,6 +326,7 @@ class ProfilingSession(SessionBase):
         workload_kwargs: dict | None = None,
         policy_kwargs: dict | None = None,
         tmp: dict | None = None,
+        tenant: str = "default",
         clock=time.monotonic,
     ):
         if workload not in WORKLOAD_NAMES:
@@ -286,7 +340,7 @@ class ProfilingSession(SessionBase):
                 ErrorCode.BAD_PARAMS,
                 f"unknown policy {policy!r}; available: {', '.join(POLICIES)}",
             )
-        super().__init__(session_id, clock=clock)
+        super().__init__(session_id, clock=clock, tenant=tenant)
         self._sim_lock = threading.Lock()
 
         try:
@@ -319,6 +373,7 @@ class ProfilingSession(SessionBase):
         """Static configuration plus progress counters."""
         return {
             "session": self.session_id,
+            "tenant": self.tenant,
             "workload": self.sim.workload.name,
             "policy": self.sim.policy.name,
             "rank_source": self.sim.rank_source.value,
@@ -366,35 +421,43 @@ class ProfilingSession(SessionBase):
         and records a ``step`` timing event in :attr:`metrics`.
         Subscriber frames are pushed as each epoch completes, so a
         subscriber sees epoch ``k`` while ``k+1`` is still executing.
+
+        The whole call is bracketed by :meth:`begin_op`/:meth:`end_op`
+        so a step running longer than the idle TTL never makes the
+        session look idle — the reaper skips busy sessions.
         """
         if epochs < 1:
             raise ServiceError(ErrorCode.BAD_PARAMS, "epochs must be >= 1")
-        with self._sim_lock:
-            if self.closed:
-                raise ServiceError(
-                    ErrorCode.UNKNOWN_SESSION, f"session {self.session_id} is closed"
+        self.begin_op()
+        try:
+            with self._sim_lock:
+                if self.closed:
+                    raise ServiceError(
+                        ErrorCode.UNKNOWN_SESSION,
+                        f"session {self.session_id} is closed",
+                    )
+                t0 = time.perf_counter()
+                stepped = self.sim.step(epochs)
+                seconds = time.perf_counter() - t0
+                event = self.metrics.add(
+                    "step", self.session_id, seconds, items=len(stepped)
                 )
-            t0 = time.perf_counter()
-            stepped = self.sim.step(epochs)
-            seconds = time.perf_counter() - t0
-            event = self.metrics.add(
-                "step", self.session_id, seconds, items=len(stepped)
-            )
-            registry = obs_metrics.default_registry()
-            registry.histogram(
-                "repro_session_step_seconds",
-                "Wall-clock latency of one step request",
-            ).observe(seconds)
-            registry.counter(
-                "repro_session_epochs_total", "Scored epochs stepped"
-            ).inc(len(stepped))
-            self.touch()
-            return {
-                "session": self.session_id,
-                "epochs": [epoch_metrics_to_dict(m) for m in stepped],
-                "epochs_run": self.sim.epochs_run,
-                "step_seconds": event.seconds,
-            }
+                registry = obs_metrics.default_registry()
+                registry.histogram(
+                    "repro_session_step_seconds",
+                    "Wall-clock latency of one step request",
+                ).observe(seconds)
+                registry.counter(
+                    "repro_session_epochs_total", "Scored epochs stepped"
+                ).inc(len(stepped))
+                return {
+                    "session": self.session_id,
+                    "epochs": [epoch_metrics_to_dict(m) for m in stepped],
+                    "epochs_run": self.sim.epochs_run,
+                    "step_seconds": event.seconds,
+                }
+        finally:
+            self.end_op()
 
     def _on_epoch(self, metrics) -> None:
         """Epoch-step hook: fan one frame out to every subscriber."""

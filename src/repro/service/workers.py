@@ -365,8 +365,8 @@ class RemoteSession(SessionBase):
     """
 
     def __init__(self, session_id: str, pool: "WorkerPool", worker: WorkerHandle,
-                 clock=time.monotonic):
-        super().__init__(session_id, clock=clock)
+                 clock=time.monotonic, tenant: str = "default"):
+        super().__init__(session_id, clock=clock, tenant=tenant)
         self.pool = pool
         self.worker = worker
         self.crashed: str | None = None
@@ -423,6 +423,7 @@ class RemoteSession(SessionBase):
         info = dict(self._static_info)
         info.update(
             session=self.session_id,
+            tenant=self.tenant,
             epochs_run=self._epochs_run,
             subscribers=len(self._subscribers),
             idle_s=self.idle_s(),
@@ -435,17 +436,20 @@ class RemoteSession(SessionBase):
     def step(self, epochs: int = 1) -> dict:
         if epochs < 1:
             raise ServiceError(ErrorCode.BAD_PARAMS, "epochs must be >= 1")
-        t0 = time.perf_counter()
-        result = self._request("step", (self.session_id, epochs))
-        self.metrics.add(
-            "step",
-            self.session_id,
-            time.perf_counter() - t0,
-            items=len(result["epochs"]),
-        )
-        self._epochs_run = result["epochs_run"]
-        self.touch()
-        return result
+        self.begin_op()
+        try:
+            t0 = time.perf_counter()
+            result = self._request("step", (self.session_id, epochs))
+            self.metrics.add(
+                "step",
+                self.session_id,
+                time.perf_counter() - t0,
+                items=len(result["epochs"]),
+            )
+            self._epochs_run = result["epochs_run"]
+            return result
+        finally:
+            self.end_op()
 
     def stats(self) -> dict:
         stats = self._request("stats", self.session_id)
@@ -554,11 +558,14 @@ class WorkerPool:
         Drop-in for :class:`ProfilingSession` as the manager's session
         factory: same signature, same :class:`ServiceError` surface.
         """
+        tenant = params.get("tenant", "default")
         with self._lock:
             worker = min(
                 self.workers, key=lambda w: (len(w.sessions), w.index)
             )
-            session = RemoteSession(session_id, self, worker, clock=clock)
+            session = RemoteSession(
+                session_id, self, worker, clock=clock, tenant=tenant
+            )
             worker.sessions.add(session_id)
             self._sessions[session_id] = session
         try:

@@ -1,0 +1,149 @@
+"""Backpressure on the wire: tenant quotas and the in-flight step limit."""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.service import ServerThread, ServiceClient, ServiceError
+
+SMALL = {"footprint_pages": 256, "accesses_per_epoch": 1000}
+#: A step slow enough (hundreds of ms on any box) to overlap with a
+#: second request deterministically via steps_inflight polling.
+SLOW = {"footprint_pages": 2048, "accesses_per_epoch": 400_000}
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    previous = obs_metrics.set_default_registry(obs_metrics.MetricsRegistry())
+    yield
+    obs_metrics.set_default_registry(previous)
+
+
+class TestTenantQuota:
+    def test_over_quota_create_rejected_overloaded(self):
+        with ServerThread(
+            port=0, workers=0, reap_interval_s=0,
+            max_sessions=8, tenant_quota=1,
+        ) as srv:
+            with ServiceClient(address=srv.address) as c:
+                first = c.create_session(
+                    "gups", tenant="acme", workload_kwargs=dict(SMALL)
+                )
+                assert first["tenant"] == "acme"
+                with pytest.raises(ServiceError) as exc:
+                    c.create_session(
+                        "gups", tenant="acme", workload_kwargs=dict(SMALL)
+                    )
+                assert exc.value.code == "overloaded"
+                assert "quota" in str(exc.value)
+                # Another tenant is unaffected by acme's quota.
+                other = c.create_session(
+                    "gups", tenant="globex", workload_kwargs=dict(SMALL)
+                )
+                info = c.server_info()
+                assert info["tenant_quota"] == 1
+                assert info["tenants"] == {"acme": 1, "globex": 1}
+                # Closing releases the quota slot.
+                c.close_session(first["session"])
+                again = c.create_session(
+                    "gups", tenant="acme", workload_kwargs=dict(SMALL)
+                )
+                assert again["tenant"] == "acme"
+                c.close_session(again["session"])
+                c.close_session(other["session"])
+
+    def test_rejection_metrics_labelled(self):
+        with ServerThread(
+            port=0, workers=0, reap_interval_s=0,
+            max_sessions=8, tenant_quota=1,
+        ) as srv:
+            with ServiceClient(address=srv.address) as c:
+                c.create_session("gups", workload_kwargs=dict(SMALL))
+                with pytest.raises(ServiceError):
+                    c.create_session("gups", workload_kwargs=dict(SMALL))
+                snap = c.metrics()
+                samples = snap["repro_service_sessions_rejected_total"]["samples"]
+                by_reason = {s["labels"]["reason"]: s["value"] for s in samples}
+                assert by_reason == {"tenant_quota": 1}
+
+    def test_bad_tenant_param(self):
+        with ServerThread(port=0, workers=0, reap_interval_s=0) as srv:
+            with ServiceClient(address=srv.address) as c:
+                with pytest.raises(ServiceError) as exc:
+                    c.create_session(
+                        "gups", tenant="", workload_kwargs=dict(SMALL)
+                    )
+                assert exc.value.code == "bad_params"
+
+    def test_default_tenant_when_unspecified(self):
+        with ServerThread(
+            port=0, workers=0, reap_interval_s=0, tenant_quota=2
+        ) as srv:
+            with ServiceClient(address=srv.address) as c:
+                info = c.create_session("gups", workload_kwargs=dict(SMALL))
+                assert info["tenant"] == "default"
+                assert c.server_info()["tenants"] == {"default": 1}
+
+
+class TestInflightStepLimit:
+    def test_step_beyond_limit_rejected_then_recovers(self):
+        with ServerThread(
+            port=0, workers=0, reap_interval_s=0,
+            max_sessions=4, step_workers=4, max_inflight_steps=1,
+        ) as srv:
+            with ServiceClient(address=srv.address, timeout_s=300) as c:
+                slow = c.create_session(
+                    "gups", seed=1, workload_kwargs=dict(SLOW)
+                )["session"]
+                fast = c.create_session(
+                    "gups", seed=2, workload_kwargs=dict(SMALL)
+                )["session"]
+                assert c.server_info()["max_inflight_steps"] == 1
+
+                done = threading.Event()
+                errors = []
+
+                def run_slow():
+                    try:
+                        with ServiceClient(
+                            address=srv.address, timeout_s=300
+                        ) as other:
+                            other.step(slow, epochs=3)
+                    except BaseException as exc:  # noqa: BLE001
+                        errors.append(exc)
+                    finally:
+                        done.set()
+
+                thread = threading.Thread(target=run_slow, daemon=True)
+                thread.start()
+                deadline = time.monotonic() + 60
+                while time.monotonic() < deadline:
+                    if c.server_info()["steps_inflight"] == 1:
+                        break
+                    time.sleep(0.005)
+                else:
+                    pytest.fail("slow step never showed up in steps_inflight")
+
+                with pytest.raises(ServiceError) as exc:
+                    c.step(fast, epochs=1)
+                assert exc.value.code == "overloaded"
+                assert "in flight" in str(exc.value)
+
+                assert done.wait(timeout=120)
+                assert not errors
+                thread.join(timeout=30)
+                # Limit releases with the in-flight step: now admitted.
+                out = c.step(fast, epochs=1)
+                assert out["epochs_run"] == 1
+                snap = c.metrics()
+                rejected = snap["repro_service_steps_rejected_total"]["samples"]
+                assert rejected[0]["value"] == 1
+
+    def test_no_limit_by_default(self):
+        with ServerThread(port=0, workers=0, reap_interval_s=0) as srv:
+            with ServiceClient(address=srv.address) as c:
+                info = c.server_info()
+                assert info["max_inflight_steps"] is None
+                assert info["steps_inflight"] == 0

@@ -1,0 +1,96 @@
+"""Degradation under pressure: frame shedding and eviction goodbyes."""
+
+import time
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.service import ServerThread, ServiceClient, ServiceError
+
+SMALL = {"footprint_pages": 256, "accesses_per_epoch": 1000}
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    previous = obs_metrics.set_default_registry(obs_metrics.MetricsRegistry())
+    yield
+    obs_metrics.set_default_registry(previous)
+
+
+class TestDropOldestAccounting:
+    def test_throttled_subscriber_sheds_but_never_miscounts(self):
+        """delivered + dropped must equal frames generated, exactly.
+
+        A tiny queue behind a 5 Hz delivery throttle guarantees drops
+        while 12 epochs step at full speed; the cumulative ``dropped``
+        counter in the *last* frame plus the frames actually delivered
+        must account for every generated frame — no double-count, no
+        silent loss.
+        """
+        epochs = 12
+        with ServerThread(port=0, workers=0, reap_interval_s=0) as srv:
+            with ServiceClient(address=srv.address, timeout_s=120) as c:
+                sid = c.create_session(
+                    "gups", workload_kwargs=dict(SMALL)
+                )["session"]
+                c.subscribe(sid, max_queue=2, max_rate_hz=5)
+                c.step(sid, epochs=epochs)
+                # Drain until the final frame (seq == epochs - 1): the
+                # newest frame is never shed by drop-oldest, so it is
+                # always delivered eventually.
+                frames = []
+                deadline = time.monotonic() + 60
+                while time.monotonic() < deadline:
+                    frame = c.next_event(timeout_s=30)
+                    frames.append(frame)
+                    if frame["seq"] == epochs - 1:
+                        break
+                else:
+                    pytest.fail("never saw the final epoch frame")
+
+                assert frames[-1]["seq"] == epochs - 1
+                dropped = frames[-1]["dropped"]
+                assert dropped > 0  # the throttle really caused shedding
+                assert len(frames) + dropped == epochs
+                # seqs strictly increase; gaps are exactly the drops.
+                seqs = [f["seq"] for f in frames]
+                assert seqs == sorted(set(seqs))
+                snap = c.metrics()
+                shed = snap["repro_service_subscriber_dropped_total"]["samples"]
+                assert shed[0]["value"] == dropped
+
+
+class TestEvictionGoodbye:
+    def test_goodbye_frame_precedes_unknown_session(self):
+        """An idle-evicted session says goodbye on the event stream.
+
+        The subscriber must receive a structured ``error`` frame with
+        ``data.code == "evicted"`` (the crash_event_data shape) rather
+        than just finding the session gone.
+        """
+        with ServerThread(
+            port=0, workers=0, idle_ttl_s=0.2, reap_interval_s=0.05
+        ) as srv:
+            with ServiceClient(address=srv.address, timeout_s=60) as c:
+                sid = c.create_session(
+                    "gups", workload_kwargs=dict(SMALL)
+                )["session"]
+                c.subscribe(sid, max_queue=8)
+                c.step(sid, epochs=1)
+                goodbye = None
+                deadline = time.monotonic() + 30
+                while time.monotonic() < deadline:
+                    frame = c.next_event(timeout_s=15)
+                    if frame["event"] == "error":
+                        goodbye = frame
+                        break
+                assert goodbye is not None, "no goodbye before the deadline"
+                assert goodbye["session"] == sid
+                assert goodbye["data"]["code"] == "evicted"
+                assert "idling" in goodbye["data"]["message"]
+                with pytest.raises(ServiceError) as exc:
+                    c.step(sid, epochs=1)
+                assert exc.value.code == "unknown_session"
+                snap = c.metrics()
+                evicted = snap["repro_service_sessions_evicted_total"]["samples"]
+                assert evicted[0]["value"] == 1

@@ -106,6 +106,55 @@ class TestInProcessMetrics:
                 ) == 1
 
 
+class TestActiveSessionsGauge:
+    """Regression: the active-sessions gauge used to be published
+    outside the manager lock, so mixed close/evict/crash sequences
+    could leave it permanently out of sync with ``list_sessions()``.
+    It must now agree at every exit path."""
+
+    def _gauge(self):
+        snap = obs_metrics.default_registry().snapshot()
+        return value(snap, "repro_service_sessions_active")
+
+    def _assert_consistent(self, mgr):
+        assert self._gauge() == len(mgr.list_sessions()) == len(mgr)
+
+    def test_gauge_tracks_mixed_lifecycle(self):
+        from repro.service import SessionManager
+
+        now = [0.0]
+        mgr = SessionManager(
+            max_sessions=8, idle_ttl_s=10.0, clock=lambda: now[0]
+        )
+        sessions = [
+            mgr.create(
+                workload="gups",
+                workload_kwargs=dict(SMALL),
+                tenant=f"t{i % 2}",
+            )
+            for i in range(5)
+        ]
+        self._assert_consistent(mgr)
+        assert self._gauge() == 5
+
+        mgr.close(sessions[0].session_id)  # deliberate close
+        self._assert_consistent(mgr)
+        mgr.discard(sessions[1].session_id)  # worker-crash path
+        self._assert_consistent(mgr)
+
+        now[0] = 5.0
+        survivor = mgr.create(workload="gups", workload_kwargs=dict(SMALL))
+        now[0] = 12.0  # sessions[2..4] idle > TTL; survivor is not
+        evicted = mgr.evict_idle()
+        assert set(evicted) == {s.session_id for s in sessions[2:]}
+        self._assert_consistent(mgr)
+        assert self._gauge() == 1
+
+        assert mgr.close_all() == [survivor.session_id]
+        self._assert_consistent(mgr)
+        assert self._gauge() == 0
+
+
 class TestSubscriberDropCounter:
     def test_bounded_queue_drops_are_counted(self):
         session = ProfilingSession(

@@ -1,5 +1,7 @@
 """Unit tests for sessions, subscriber queues, and the manager."""
 
+import threading
+
 import pytest
 
 from repro.memsim import MachineConfig
@@ -207,3 +209,97 @@ class TestSessionManager:
         assert [s["session"] for s in listed] == [a.session_id]
         assert mgr.close_all() == [a.session_id]
         assert len(mgr) == 0
+
+    def test_tenant_quota_enforced_and_released(self):
+        mgr = SessionManager(max_sessions=8, tenant_quota=1)
+        a = self._create(mgr, tenant="acme")
+        assert a.tenant == "acme"
+        with pytest.raises(ServiceError) as exc:
+            self._create(mgr, tenant="acme")
+        assert exc.value.code == "overloaded"
+        b = self._create(mgr, tenant="globex")  # other tenants unaffected
+        assert mgr.tenants() == {"acme": 1, "globex": 1}
+        mgr.close(a.session_id)
+        self._create(mgr, tenant="acme")  # quota slot came back
+        mgr.close_all()
+        assert mgr.tenants() == {}
+        self._create(mgr, tenant="globex")  # close_all released b's slot
+        assert b.closed
+
+    def test_tenant_quota_released_on_failed_create(self):
+        mgr = SessionManager(max_sessions=8, tenant_quota=1)
+        with pytest.raises(ServiceError):
+            self._create(mgr, tenant="acme", workload="doom")
+        self._create(mgr, tenant="acme")  # reservation was rolled back
+
+    def test_tenant_param_validation(self):
+        mgr = self._manager()
+        for bad in ("", 7, None):
+            with pytest.raises(ServiceError) as exc:
+                self._create(mgr, tenant=bad)
+            assert exc.value.code == "bad_params"
+
+
+class TestMidStepEvictionRace:
+    """Regression: a step running longer than the idle TTL used to be
+    evicted mid-step, closing the simulator out from under the stepping
+    thread (the session only touch()ed when the step *completed*)."""
+
+    def _slow_stepping_session(self, mgr, in_step, release):
+        session = mgr.create(workload="gups", workload_kwargs=dict(SMALL))
+        real_step = session.sim.step
+
+        def gated_step(epochs):
+            in_step.set()
+            assert release.wait(timeout=60)
+            return real_step(epochs)
+
+        session.sim.step = gated_step
+        return session
+
+    def test_long_step_survives_reaper(self):
+        now = [0.0]
+        mgr = SessionManager(
+            max_sessions=2, idle_ttl_s=5.0, clock=lambda: now[0]
+        )
+        in_step, release = threading.Event(), threading.Event()
+        session = self._slow_stepping_session(mgr, in_step, release)
+        outcome = []
+        worker = threading.Thread(
+            target=lambda: outcome.append(session.step(1)), daemon=True
+        )
+        worker.start()
+        assert in_step.wait(timeout=60)
+        assert session.busy
+        now[0] = 1e6  # way past the TTL while the step is in flight
+        assert mgr.evict_idle() == []  # busy: skipped, not evicted
+        assert mgr.get(session.session_id) is session
+        release.set()
+        worker.join(timeout=60)
+        assert not worker.is_alive()
+        assert not session.closed
+        assert outcome and outcome[0]["epochs_run"] == 1
+        # Once the step finishes the session is genuinely idle again
+        # (end_op touched at now=1e6), so the reaper may take it.
+        assert not session.busy
+        now[0] = 1e6 + 10.0
+        assert mgr.evict_idle() == [session.session_id]
+
+    def test_begin_op_touches_at_start(self):
+        # Activity is registered when the op *begins*, not when it
+        # completes: a session one tick from eviction that starts a
+        # step is immediately fresh.
+        now = [0.0]
+        session = ProfilingSession(
+            "s1",
+            workload="gups",
+            workload_kwargs=dict(SMALL),
+            clock=lambda: now[0],
+        )
+        now[0] = 100.0
+        assert session.idle_s() == 100.0
+        session.begin_op()
+        assert session.idle_s() == 0.0
+        assert session.busy
+        session.end_op()
+        assert not session.busy
