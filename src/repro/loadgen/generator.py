@@ -240,7 +240,10 @@ async def _session_task(
                             cfg.overload_backoff_s * (1 + attempt) * rng.uniform(0.5, 1.5)
                         )
                         continue
-                    if exc.code == ErrorCode.UNKNOWN_SESSION:
+                    if exc.code in (ErrorCode.UNKNOWN_SESSION, ErrorCode.EVICTED):
+                        # ``evicted`` is the structured loser's error
+                        # when a step races the reaper's atomic claim;
+                        # either way the session is gone mid-life.
                         state.evicted_midlife += 1
                         evicted = True
                         return
@@ -253,7 +256,7 @@ async def _session_task(
                         recorder, "stats", client.request("stats", session=session_id)
                     )
                 except ServiceError as exc:
-                    if exc.code == ErrorCode.UNKNOWN_SESSION:
+                    if exc.code in (ErrorCode.UNKNOWN_SESSION, ErrorCode.EVICTED):
                         state.evicted_midlife += 1
                         evicted = True
                         return
@@ -301,22 +304,27 @@ async def run_load_test_async(
         for _ in range(cfg.connections)
     ]
     t0 = time.perf_counter()
-    try:
-        async with asyncio.timeout(cfg.timeout_s):
-            tasks = []
-            for i in range(cfg.sessions):
-                state.launched += 1
-                tasks.append(
-                    asyncio.ensure_future(
-                        _session_task(
-                            i, clients[i % len(clients)], cfg, recorder, state, rng
-                        )
+    tasks: list[asyncio.Task] = []
+
+    async def _drive():
+        for i in range(cfg.sessions):
+            state.launched += 1
+            tasks.append(
+                asyncio.ensure_future(
+                    _session_task(
+                        i, clients[i % len(clients)], cfg, recorder, state, rng
                     )
                 )
-                # Poisson inter-arrival: open loop — never await the
-                # session tasks here.
-                await asyncio.sleep(rng.expovariate(cfg.arrival_rate))
-            results = await asyncio.gather(*tasks, return_exceptions=True)
+            )
+            # Poisson inter-arrival: open loop — never await the
+            # session tasks here.
+            await asyncio.sleep(rng.expovariate(cfg.arrival_rate))
+        return await asyncio.gather(*tasks, return_exceptions=True)
+
+    try:
+        # asyncio.wait_for, not asyncio.timeout(): the latter is 3.11+
+        # and this package supports 3.10.
+        results = await asyncio.wait_for(_drive(), cfg.timeout_s)
         for result in results:
             if isinstance(result, BaseException) and not isinstance(
                 result, (ServiceError, ConnectionError)
@@ -328,6 +336,11 @@ async def run_load_test_async(
         except (ServiceError, ConnectionError):
             pass
     finally:
+        # On timeout, wait_for cancels _drive(); session tasks spawned
+        # before the deadline still need reaping.
+        for task in tasks:
+            task.cancel()
+        await asyncio.gather(*tasks, return_exceptions=True)
         wall_s = time.perf_counter() - t0
         for client in clients:
             await client.close()

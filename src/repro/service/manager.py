@@ -77,6 +77,10 @@ class SessionManager:
         #: Live + reserved sessions per tenant (quota accounting).
         self._tenant_count: dict[str, int] = {}
         self._next_id = 0
+        #: Bumped by every close_all(); a create whose construction
+        #: straddles a drain is rejected at insert instead of slipping
+        #: a live session past the drain.
+        self._drain_gen = 0
 
     def __len__(self) -> int:
         return len(self._sessions)
@@ -145,6 +149,7 @@ class SessionManager:
             self._tenant_count[tenant] = self._tenant_count.get(tenant, 0) + 1
             self._next_id += 1
             session_id = f"s{self._next_id}"
+            drain_gen = self._drain_gen
         admitted = False
         try:
             session = self.session_factory(session_id, clock=self._clock, **params)
@@ -158,8 +163,25 @@ class SessionManager:
                     self._release_tenant_locked(tenant)
         session.tenant = tenant
         with self._lock:
-            self._sessions[session_id] = session
-            self._publish_active_locked()
+            if self._drain_gen != drain_gen:
+                # close_all() ran while we were constructing: the drain
+                # already dropped every live session, so this one must
+                # not outlive it.  Its tenant slot was reserved before
+                # the drain and close_all only releases slots of popped
+                # sessions, so release it here.
+                self._release_tenant_locked(tenant)
+                drained = True
+            else:
+                self._sessions[session_id] = session
+                self._publish_active_locked()
+                drained = False
+        if drained:
+            session.close()
+            _reject("server_drain")
+            raise ServiceError(
+                ErrorCode.SERVER_DRAIN,
+                f"server drained while session {session_id} was being built",
+            )
         _metrics().counter(
             "repro_service_sessions_created_total", "Sessions admitted and built"
         ).inc()
@@ -225,11 +247,20 @@ class SessionManager:
         Each session's subscribers receive one structured
         ``server_drain`` error frame before the close detaches them,
         so a consumer can tell a deliberate drain from a dead socket.
+
+        Tenant slots are released per popped session (not cleared
+        wholesale): a create mid-construction still holds its reserved
+        slot, and the drain-generation bump makes that create fail at
+        insert with ``server_drain``, releasing the slot itself — so
+        per-tenant accounting never drifts and no session slips past
+        the drain.
         """
         with self._lock:
+            self._drain_gen += 1
             sessions = list(self._sessions.items())
             self._sessions.clear()
-            self._tenant_count.clear()
+            for _, session in sessions:
+                self._release_tenant_locked(session.tenant)
             self._publish_active_locked()
         for sid, session in sessions:
             session._fanout(
@@ -251,19 +282,24 @@ class SessionManager:
         Sessions with an operation in flight (``busy``) are skipped: a
         step that runs longer than the TTL is the opposite of idle, and
         evicting it would close the simulator out from under the
-        stepping thread.
+        stepping thread.  The busy check and the eviction claim are one
+        atomic act (``try_mark_evicting`` under the session's activity
+        lock), so a step dispatched concurrently either registers its
+        in-flight op first — the claim fails, the session survives — or
+        fails ``begin_op`` with a structured ``evicted`` error; it can
+        never run against the closed simulator.
         """
         if self.idle_ttl_s <= 0:
             return []
         now = self._clock() if now is None else now
         with self._lock:
-            stale = [
-                sid
-                for sid, s in self._sessions.items()
-                if not s.busy and s.idle_s(now) > self.idle_ttl_s
+            evicted = [
+                (sid, s)
+                for sid, s in list(self._sessions.items())
+                if s.try_mark_evicting(now, self.idle_ttl_s)
             ]
-            evicted = [(sid, self._sessions.pop(sid)) for sid in stale]
-            for _, session in evicted:
+            for sid, session in evicted:
+                self._sessions.pop(sid)
                 self._release_tenant_locked(session.tenant)
             if evicted:
                 self._publish_active_locked()

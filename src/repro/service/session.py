@@ -172,6 +172,9 @@ class SessionBase:
         #: a session out from under a live step.
         self._activity_lock = threading.Lock()
         self._inflight_ops = 0
+        #: Set by the reaper's :meth:`try_mark_evicting` under
+        #: ``_activity_lock``; once set, :meth:`begin_op` refuses.
+        self._evicting = False
         self._sub_lock = threading.Lock()
         self._subscribers: dict[str, SubscriberQueue] = {}
         self._next_sub = 0
@@ -198,8 +201,20 @@ class SessionBase:
 
         Called *before* the operation's lock acquisition, so a step
         queued behind another step already counts as activity.
+
+        Raises a structured ``evicted`` error if the reaper has already
+        claimed this session via :meth:`try_mark_evicting`: the claim
+        and this check share ``_activity_lock``, so an operation
+        racing the reaper either registers first (the claim fails and
+        the session survives) or loses cleanly here — it can never run
+        against a simulator the reaper is closing.
         """
         with self._activity_lock:
+            if self._evicting:
+                raise ServiceError(
+                    ErrorCode.EVICTED,
+                    f"session {self.session_id} is being evicted",
+                )
             self._inflight_ops += 1
         self.touch()
 
@@ -213,6 +228,21 @@ class SessionBase:
         """True while any blocking operation is in flight."""
         with self._activity_lock:
             return self._inflight_ops > 0
+
+    def try_mark_evicting(self, now: float, idle_ttl_s: float) -> bool:
+        """Atomically claim this session for idle eviction.
+
+        Succeeds only when no operation is in flight *and* the session
+        is still past the TTL, checked under the same lock
+        :meth:`begin_op` uses — closing the window where a step
+        dispatched between the reaper's busy check and its close()
+        could run against a dead simulator.
+        """
+        with self._activity_lock:
+            if self._inflight_ops > 0 or now - self.last_active_s <= idle_ttl_s:
+                return False
+            self._evicting = True
+            return True
 
     # ---------------------------------------------------------- subscribers
 

@@ -1,5 +1,6 @@
 """The load generator end to end against a real threaded server."""
 
+import asyncio
 import json
 
 import pytest
@@ -134,6 +135,25 @@ class TestRunLoadTest:
         # server_info's tenants map is empty post-run (all closed), but
         # nothing was rejected despite 4 distinct tenant names.
         assert report["sessions"]["rejected"] == {}
+
+    def test_timeout_reaps_in_flight_sessions(self):
+        # The wall-clock cap (asyncio.wait_for — available on 3.10,
+        # unlike asyncio.timeout) fires while every session is
+        # mid-think: the run raises TimeoutError promptly and cancels
+        # the spawned session tasks instead of leaking them.
+        cfg = small_config(
+            sessions=4,
+            arrival_rate=1000.0,
+            subscribe_fraction=0.0,
+            stats_fraction=0.0,
+            think_s=60.0,
+            timeout_s=1.0,
+        )
+        with ServerThread(
+            port=0, workers=0, max_sessions=cfg.sessions, reap_interval_s=0
+        ) as srv:
+            with pytest.raises(asyncio.TimeoutError):
+                run_load_test(srv.address, cfg)
 
     def test_config_validation(self):
         with pytest.raises(ValueError):

@@ -239,6 +239,48 @@ class TestSessionManager:
                 self._create(mgr, tenant=bad)
             assert exc.value.code == "bad_params"
 
+    def test_close_all_rejects_mid_construction_create(self):
+        # A create whose (slow, unlocked) construction straddles a
+        # close_all() must not insert a live session after the drain,
+        # and its reserved tenant slot must not leak.
+        building, release = threading.Event(), threading.Event()
+
+        def slow_factory(session_id, **params):
+            building.set()
+            assert release.wait(timeout=60)
+            return ProfilingSession(session_id, **params)
+
+        mgr = SessionManager(
+            max_sessions=4, tenant_quota=1, session_factory=slow_factory
+        )
+        errors = []
+
+        def run_create():
+            try:
+                mgr.create(
+                    workload="gups", workload_kwargs=dict(SMALL), tenant="acme"
+                )
+            except ServiceError as exc:
+                errors.append(exc)
+
+        worker = threading.Thread(target=run_create, daemon=True)
+        worker.start()
+        assert building.wait(timeout=60)
+        assert mgr.close_all() == []  # drain lands mid-construction
+        release.set()
+        worker.join(timeout=60)
+        assert not worker.is_alive()
+        assert [e.code for e in errors] == ["server_drain"]
+        assert len(mgr) == 0
+        # The tenant slot came back: the same tenant can create again
+        # up to its quota of one.
+        release.set()
+        building.clear()
+        s = mgr.create(workload="gups", workload_kwargs=dict(SMALL), tenant="acme")
+        assert mgr.tenants() == {"acme": 1}
+        mgr.close(s.session_id)
+        assert mgr.tenants() == {}
+
 
 class TestMidStepEvictionRace:
     """Regression: a step running longer than the idle TTL used to be
@@ -283,6 +325,39 @@ class TestMidStepEvictionRace:
         # (end_op touched at now=1e6), so the reaper may take it.
         assert not session.busy
         now[0] = 1e6 + 10.0
+        assert mgr.evict_idle() == [session.session_id]
+
+    def test_step_losing_race_to_reaper_fails_structured(self):
+        # A step dispatched between the reaper's idle check and its
+        # close() used to run against a closing simulator.  The claim
+        # (try_mark_evicting) and begin_op share the activity lock, so
+        # the loser now fails with a structured ``evicted`` error.
+        now = [0.0]
+        mgr = SessionManager(max_sessions=2, idle_ttl_s=5.0, clock=lambda: now[0])
+        session = mgr.create(workload="gups", workload_kwargs=dict(SMALL))
+        handle = mgr.get(session.session_id)  # step handler resolved...
+        now[0] = 100.0
+        assert mgr.evict_idle() == [session.session_id]  # ...reaper wins
+        with pytest.raises(ServiceError) as exc:
+            handle.step(1)  # begin_op runs after the claim
+        assert exc.value.code == "evicted"
+
+    def test_evict_claim_loses_to_inflight_op(self):
+        # The converse interleaving: begin_op registered first, so the
+        # reaper's atomic claim fails and the session survives.
+        now = [0.0]
+        mgr = SessionManager(max_sessions=2, idle_ttl_s=5.0, clock=lambda: now[0])
+        session = mgr.create(workload="gups", workload_kwargs=dict(SMALL))
+        stale = 100.0
+        session.last_active_s = -stale  # look long-idle despite the op
+        session.begin_op()
+        session.last_active_s = -stale
+        try:
+            assert not session.try_mark_evicting(now[0], 5.0)
+            assert mgr.evict_idle() == []
+        finally:
+            session.end_op()
+        now[0] = stale + 10.0
         assert mgr.evict_idle() == [session.session_id]
 
     def test_begin_op_touches_at_start(self):
