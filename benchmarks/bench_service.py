@@ -37,13 +37,22 @@ import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+import numpy as np  # noqa: E402
+
 from repro.obs import metrics as obs_metrics  # noqa: E402
 from repro.service import ServerThread, ServiceClient  # noqa: E402
+from repro.service.protocol import (  # noqa: E402
+    encode_frame,
+    encode_payload,
+    event_frame,
+    splice_event_frame,
+)
 
 WORKLOAD_KWARGS = {"footprint_pages": 512, "accesses_per_epoch": 4000}
 DEFAULT_SESSIONS = 8
 DEFAULT_EPOCHS = 24
 STEP_CHUNK = 4
+FANOUT_SUBSCRIBERS = 16
 
 
 def run_scenario(
@@ -279,12 +288,205 @@ def run_ipc_amortization(
     }
 
 
+def _fanout_payload() -> dict:
+    """A representative epoch-telemetry dict, numpy scalars included.
+
+    Mirrors ``epoch_metrics_to_dict`` output: the numpy values exercise
+    the ``_json_default`` coercion exactly where the real fan-out pays
+    it, so the kernel arms measure the production encode cost.
+    """
+    return {
+        "epoch": np.int64(41),
+        "hitrate": np.float64(0.8731942719),
+        "tier1_hits": np.int64(3492),
+        "accesses": np.int64(4000),
+        "promoted": np.int64(129),
+        "demoted": np.int64(64),
+        "sampled": np.int64(250),
+        "runtime_s": np.float64(0.004912377),
+        "slowdown": np.float64(1.21874),
+        "tier1_pages": np.int64(512),
+        "profiler_overhead_s": np.float64(0.00022119),
+        "latency": {
+            "reads_t1": np.int64(3300),
+            "reads_t2": np.int64(700),
+            "mean_read_ns": np.float64(211.73),
+            "stall_s": np.float64(0.00071),
+        },
+    }
+
+
+def run_fanout_kernel(
+    frames: int = 400,
+    subscribers: int = FANOUT_SUBSCRIBERS,
+    repeats: int = 5,
+) -> dict:
+    """Serialize-once splice vs. encode-per-subscriber, 16 subscribers.
+
+    The pre-change fan-out called ``encode_frame`` once *per
+    subscriber* per epoch frame; the serialize-once path encodes the
+    payload once and splices the per-subscriber envelope around the
+    shared bytes.  Both arms produce bit-identical wire lines (asserted
+    here and property-tested in ``tests/service/test_fanout_equiv.py``)
+    so this is a pure cost comparison, scored by min CPU time over
+    ``repeats``.
+    """
+    data = _fanout_payload()
+    session = "s1"
+    subs = [f"{session}.sub{j}" for j in range(subscribers)]
+
+    def legacy() -> int:
+        total = 0
+        for seq in range(frames):
+            for sub in subs:
+                total += len(
+                    encode_frame(event_frame("epoch", session, sub, seq, data))
+                )
+        return total
+
+    def spliced() -> int:
+        total = 0
+        for seq in range(frames):
+            payload = encode_payload(data)
+            for sub in subs:
+                total += len(
+                    splice_event_frame("epoch", session, sub, seq, 0, payload)
+                )
+        return total
+
+    sample_payload = encode_payload(data)
+    assert splice_event_frame("epoch", session, subs[0], 7, 0, sample_payload) == (
+        encode_frame(event_frame("epoch", session, subs[0], 7, data))
+    )
+
+    times = {"legacy": [], "spliced": []}
+    nbytes = {}
+    legacy(), spliced()  # warmup
+    for _ in range(repeats):
+        for name, fn in (("legacy", legacy), ("spliced", spliced)):
+            c0 = time.process_time()
+            nbytes[name] = fn()
+            times[name].append(time.process_time() - c0)
+    legacy_s = min(times["legacy"])
+    spliced_s = min(times["spliced"])
+    total_frames = frames * subscribers
+    return {
+        "frames": frames,
+        "subscribers": subscribers,
+        "repeats": repeats,
+        "legacy_cpu_s": legacy_s,
+        "spliced_cpu_s": spliced_s,
+        "legacy_frames_per_s": total_frames / legacy_s,
+        "spliced_frames_per_s": total_frames / spliced_s,
+        "legacy_bytes_per_s": nbytes["legacy"] / legacy_s,
+        "spliced_bytes_per_s": nbytes["spliced"] / spliced_s,
+        "speedup": legacy_s / spliced_s,
+    }
+
+
+def run_fanout_live(
+    sessions: int = DEFAULT_SESSIONS,
+    subscribers: int = FANOUT_SUBSCRIBERS,
+    epochs: int = DEFAULT_EPOCHS,
+    chunk: int = STEP_CHUNK,
+) -> dict:
+    """End-to-end many-subscriber fan-out: 8 sessions x 16 subscribers.
+
+    Each session's connection holds ``subscribers`` subscriptions, so
+    every scored epoch fans out into 16 frames that all cross the
+    socket (the coalesced pump batches them per write).  Delivered
+    frames/s and bytes/s are measured from step start until every
+    subscriber received every frame; byte counts re-encode the received
+    frames after timing stops, which is wire-exact because spliced
+    frames are bit-identical to ``encode_frame`` output.
+    """
+    start_barrier = threading.Barrier(sessions + 1)
+    done_barrier = threading.Barrier(sessions + 1)
+    errors: list[BaseException] = []
+    received: list[list[dict]] = [[] for _ in range(sessions)]
+
+    with ServerThread(
+        port=0,
+        workers=0,
+        max_sessions=sessions,
+        step_workers=sessions,
+        reap_interval_s=0,
+    ) as srv:
+
+        def drive(index: int) -> None:
+            try:
+                with ServiceClient(address=srv.address, timeout_s=300) as client:
+                    sid = client.create_session(
+                        "gups",
+                        seed=index,
+                        workload_kwargs=dict(WORKLOAD_KWARGS),
+                    )["session"]
+                    for _ in range(subscribers):
+                        client.subscribe(sid, max_queue=epochs + 8)
+                    start_barrier.wait()
+                    for _ in range(0, epochs, chunk):
+                        client.step(sid, epochs=chunk)
+                    frames = list(
+                        client.iter_events(subscribers * epochs, timeout_s=120)
+                    )
+                    done_barrier.wait()
+                    received[index] = frames
+            except BaseException as exc:  # noqa: BLE001 — surface in main thread
+                errors.append(exc)
+                raise
+
+        threads = [
+            threading.Thread(target=drive, args=(index,), daemon=True)
+            for index in range(sessions)
+        ]
+        for thread in threads:
+            thread.start()
+        start_barrier.wait()
+        t0 = time.perf_counter()
+        done_barrier.wait()
+        wall_s = time.perf_counter() - t0
+        for thread in threads:
+            thread.join(timeout=60)
+    if errors:
+        raise errors[0]
+
+    total_frames = sum(len(frames) for frames in received)
+    total_bytes = sum(
+        len(encode_frame(frame)) for frames in received for frame in frames
+    )
+    return {
+        "sessions": sessions,
+        "subscribers_per_session": subscribers,
+        "epochs_per_session": epochs,
+        "frames_delivered": total_frames,
+        "bytes_delivered": total_bytes,
+        "wall_s": wall_s,
+        "frames_per_s": total_frames / wall_s,
+        "bytes_per_s": total_bytes / wall_s,
+    }
+
+
+def run_fanout(
+    sessions: int = DEFAULT_SESSIONS,
+    subscribers: int = FANOUT_SUBSCRIBERS,
+    epochs: int = DEFAULT_EPOCHS,
+) -> dict:
+    """The fan-out arm of the report: encode kernel + live delivery."""
+    return {
+        "kernel": run_fanout_kernel(subscribers=subscribers),
+        "live": run_fanout_live(
+            sessions=sessions, subscribers=subscribers, epochs=epochs
+        ),
+    }
+
+
 def run(
     workers_list=(0, 4),
     sessions=DEFAULT_SESSIONS,
     epochs=DEFAULT_EPOCHS,
     include_ipc=False,
     include_ledger=False,
+    include_fanout=False,
 ) -> dict:
     scenarios = []
     for workers in workers_list:
@@ -339,6 +541,28 @@ def run(
             f"{ipc['batched']['epochs_per_s']:.1f} epochs/s)"
         )
         report["ipc_amortization"] = ipc
+    if include_fanout:
+        fanout = run_fanout(sessions=sessions, epochs=epochs)
+        kernel, live = fanout["kernel"], fanout["live"]
+        print(
+            "fanout kernel ({} subs): {:.2f}x "
+            "({:.0f} -> {:.0f} frames/s encode)".format(
+                kernel["subscribers"],
+                kernel["speedup"],
+                kernel["legacy_frames_per_s"],
+                kernel["spliced_frames_per_s"],
+            )
+        )
+        print(
+            "fanout live ({} sessions x {} subs): "
+            "{:.0f} frames/s, {:.1f} MB/s delivered".format(
+                live["sessions"],
+                live["subscribers_per_session"],
+                live["frames_per_s"],
+                live["bytes_per_s"] / 1e6,
+            )
+        )
+        report["fanout"] = fanout
     return report
 
 
@@ -361,6 +585,7 @@ def main(argv=None) -> int:
         epochs=args.epochs,
         include_ipc=True,
         include_ledger=True,
+        include_fanout=True,
     )
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2)

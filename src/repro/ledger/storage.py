@@ -64,18 +64,71 @@ def _json_default(obj):
     raise TypeError(f"not JSON-serializable: {type(obj).__name__}")
 
 
+def _encode_data(data) -> bytes:
+    """One record's ``data`` as compact JSON bytes (numpy coerced)."""
+    return json.dumps(data, separators=(",", ":"), default=_json_default).encode(
+        "utf-8"
+    )
+
+
 def _segment_name(first_seq: int) -> str:
     return f"seg-{first_seq:010d}.jsonl"
 
 
-class _Segment:
-    """Bookkeeping for one sealed or active segment file."""
+def _split_record(line: bytes):
+    """Parse one record line's envelope without decoding the payload.
 
-    def __init__(self, path: Path, first_seq: int, count: int, nbytes: int):
+    Record lines are written by :meth:`SessionLedger.append_many` in a
+    fixed shape — ``{"seq":N,"event":E,"data":P,"unix":T}`` — so the
+    payload bytes can be sliced back out between the ``"data":`` marker
+    and the trailing ``,"unix":`` (``rindex``: the real ``unix`` field
+    always follows the payload, so the *last* occurrence is the field
+    boundary even if the payload contains the marker text).  Returns
+    ``(seq, event, payload_bytes)`` or ``None`` when the line doesn't
+    match the shape (foreign writer, corruption) and needs a full JSON
+    decode instead.
+    """
+    try:
+        if not line.startswith(b'{"seq":'):
+            return None
+        event_at = line.index(b',"event":', 7)
+        seq = int(line[7:event_at])
+        data_at = line.index(b',"data":', event_at)
+        event = json.loads(line[event_at + 9 : data_at])
+        end = line.rindex(b',"unix":')
+        payload = line[data_at + 8 : end]
+        if not isinstance(event, str):
+            return None
+        return seq, event, payload
+    except ValueError:
+        return None
+
+
+class _Segment:
+    """Bookkeeping for one sealed or active segment file.
+
+    ``epochs`` and ``offsets`` are tracked incrementally as records
+    append, so sealing a segment writes its sidecar from memory instead
+    of re-reading the whole file to count/locate records.  Sealed
+    segments recovered from a healthy sidecar keep ``offsets`` empty —
+    the on-disk index already holds them.
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        first_seq: int,
+        count: int,
+        nbytes: int,
+        epochs: int = 0,
+        offsets: list[int] | None = None,
+    ):
         self.path = path
         self.first_seq = first_seq
         self.count = count
         self.nbytes = nbytes
+        self.epochs = epochs
+        self.offsets: list[int] = [] if offsets is None else offsets
 
     @property
     def end_seq(self) -> int:
@@ -141,10 +194,14 @@ class SessionLedger:
             if sidecar is not None and i < len(paths) - 1:
                 # Sealed segment with a healthy index: trust it.
                 seg = _Segment(
-                    path, first_seq, sidecar["count"], sidecar["bytes"]
+                    path,
+                    first_seq,
+                    sidecar["count"],
+                    sidecar["bytes"],
+                    epochs=sidecar.get("epochs", 0),
                 )
                 self._sealed.append(seg)
-                self.epoch_count += sidecar.get("epochs", 0)
+                self.epoch_count += seg.epochs
                 self.next_seq = seg.end_seq
                 continue
             # Tail segment (or sealed one missing its sidecar): scan it
@@ -153,6 +210,7 @@ class SessionLedger:
             good_bytes = 0
             count = 0
             epochs = 0
+            offsets: list[int] = []
             with open(path, "rb") as fh:
                 for line in fh:
                     if not line.endswith(b"\n"):
@@ -163,6 +221,7 @@ class SessionLedger:
                         break
                     if record.get("seq") != first_seq + count:
                         break
+                    offsets.append(good_bytes)
                     good_bytes += len(line)
                     count += 1
                     if record.get("event") == "epoch":
@@ -170,13 +229,15 @@ class SessionLedger:
             if good_bytes < path.stat().st_size:
                 with open(path, "rb+") as fh:
                     fh.truncate(good_bytes)
-            seg = _Segment(path, first_seq, count, good_bytes)
+            seg = _Segment(
+                path, first_seq, count, good_bytes, epochs=epochs, offsets=offsets
+            )
             self.epoch_count += epochs
             self.next_seq = seg.end_seq
             if i < len(paths) - 1:
                 # An interior segment without an index: reseal it so
                 # later seeks stay O(1).
-                self._write_sidecar(seg, self._scan_offsets(seg))
+                self._write_sidecar(seg)
                 self._sealed.append(seg)
             else:
                 self._active = seg
@@ -208,28 +269,20 @@ class SessionLedger:
             pass
         return None
 
-    def _scan_offsets(self, seg: _Segment) -> list[int]:
-        offsets = []
-        pos = 0
-        with open(seg.path, "rb") as fh:
-            for _ in range(seg.count):
-                offsets.append(pos)
-                pos += len(fh.readline())
-        return offsets
+    def _write_sidecar(self, seg: _Segment) -> None:
+        """Seal ``seg``'s index from its in-memory bookkeeping.
 
-    def _write_sidecar(self, seg: _Segment, offsets: list[int]) -> None:
-        epochs = sum(
-            1
-            for record in self._iter_segment(seg, seg.first_seq)
-            if record.get("event") == "epoch"
-        )
+        Counts and offsets are tracked incrementally on every append
+        (and rebuilt by the recovery scan), so sealing never re-reads
+        the segment file.
+        """
         blob = json.dumps(
             {
                 "first_seq": seg.first_seq,
                 "count": seg.count,
                 "bytes": seg.nbytes,
-                "epochs": epochs,
-                "offsets": offsets,
+                "epochs": seg.epochs,
+                "offsets": seg.offsets,
             },
             separators=(",", ":"),
         ).encode()
@@ -241,46 +294,80 @@ class SessionLedger:
 
     def append(self, event: str, data: dict) -> int:
         """Durably append one record; returns the seq it was assigned."""
-        line = None
+        return self.append_many(((event, _encode_data(data)),))
+
+    def append_encoded(self, event: str, payload: bytes) -> int:
+        """Append one record whose ``data`` is already JSON bytes.
+
+        ``payload`` must be compact JSON (the fan-out's
+        ``encode_payload`` output); it is spliced into the record line
+        verbatim, so the wire frame and the durable record share one
+        encode of the payload.
+        """
+        return self.append_many(((event, payload),))
+
+    def append_many(self, items) -> int:
+        """Durably append a batch of ``(event, payload_bytes)`` records.
+
+        The whole batch shares one timestamp, one ``write()``, one
+        flush, and — under the ``always`` policy — one fsync at the
+        batch boundary, amortizing the per-record overheads the
+        telemetry hot path used to pay per subscriber frame.  Returns
+        the seq assigned to the first record of the batch (``next_seq``
+        for an empty batch).
+        """
+        items = list(items)
         with self._lock:
             if self._closed:
                 raise ValueError("ledger is closed")
+            if not items:
+                return self.next_seq
             if self._fh is None:
                 self._fh = open(self._active.path, "ab")
-            seq = self.next_seq
-            record = {
-                "seq": seq,
-                "event": event,
-                "data": data,
-                "unix": time.time(),
-            }
-            line = (
-                json.dumps(
-                    record, separators=(",", ":"), default=_json_default
+            unix = json.dumps(time.time()).encode("ascii")
+            first_seq = self.next_seq
+            lines = []
+            offset = self._active.nbytes
+            nbytes = 0
+            for event, payload in items:
+                line = b"".join(
+                    (
+                        b'{"seq":',
+                        str(self.next_seq).encode("ascii"),
+                        b',"event":',
+                        json.dumps(event).encode("utf-8"),
+                        b',"data":',
+                        payload,
+                        b',"unix":',
+                        unix,
+                        b"}\n",
+                    )
                 )
-                + "\n"
-            ).encode("utf-8")
-            self._fh.write(line)
+                lines.append(line)
+                self._active.offsets.append(offset + nbytes)
+                nbytes += len(line)
+                self.next_seq += 1
+                if event == "epoch":
+                    self.epoch_count += 1
+                    self._active.epochs += 1
+            self._fh.write(b"".join(lines))
             # Flush unconditionally so same-process readers (the replay
-            # path) see the record; fsync is the configurable part.
+            # path) see the records; fsync is the configurable part.
             self._fh.flush()
             if self.fsync == "always":
                 self._fsync_active()
-            self._active.count += 1
-            self._active.nbytes += len(line)
-            self.next_seq = seq + 1
-            if event == "epoch":
-                self.epoch_count += 1
+            self._active.count += len(items)
+            self._active.nbytes += nbytes
             if self._active.nbytes >= self.segment_bytes:
                 self._rotate()
         registry = _registry()
         registry.counter(
             "repro_ledger_appends_total", "Records appended to session ledgers"
-        ).inc()
+        ).inc(len(items))
         registry.counter(
             "repro_ledger_bytes_total", "Bytes appended to session ledgers"
-        ).inc(len(line))
-        return seq
+        ).inc(nbytes)
+        return first_seq
 
     def _fsync_active(self) -> None:
         t0 = time.perf_counter()
@@ -295,7 +382,7 @@ class SessionLedger:
         if self.fsync != "never":
             self._fsync_active()
         self._fh.close()
-        self._write_sidecar(seg, self._scan_offsets(seg))
+        self._write_sidecar(seg)
         self._sealed.append(seg)
         self._active = _Segment(
             self.directory / _segment_name(self.next_seq),
@@ -372,8 +459,8 @@ class SessionLedger:
                 else self._active.first_seq
             )
 
-    def _iter_segment(self, seg: _Segment, from_seq: int, end_seq=None):
-        """Yield ``seg``'s records with ``from_seq <= seq < end_seq``."""
+    def _iter_segment_lines(self, seg: _Segment, from_seq: int):
+        """Yield ``seg``'s raw record lines starting at ``from_seq``."""
         start = max(from_seq - seg.first_seq, 0)
         if start >= seg.count:
             return
@@ -395,24 +482,23 @@ class SessionLedger:
                     line = fh.readline()
                     if not line.endswith(b"\n"):
                         return
-                    try:
-                        record = json.loads(line)
-                    except json.JSONDecodeError:
-                        return
-                    if end_seq is not None and record["seq"] >= end_seq:
-                        return
-                    yield record
+                    yield line
         except OSError:
             return
 
-    def read(self, from_seq: int = 0, end_seq: int | None = None):
-        """Yield records with ``from_seq <= seq < end_seq``, in order.
+    def _iter_segment(self, seg: _Segment, from_seq: int, end_seq=None):
+        """Yield ``seg``'s records with ``from_seq <= seq < end_seq``."""
+        for line in self._iter_segment_lines(seg, from_seq):
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                return
+            if end_seq is not None and record["seq"] >= end_seq:
+                return
+            yield record
 
-        Safe against a concurrent writer: the segment list and record
-        counts are snapshotted under the lock, so the iteration sees a
-        consistent prefix of the ledger (records appended afterwards
-        are simply not part of this read).
-        """
+    def _snapshot_segments(self, from_seq: int) -> list[_Segment]:
+        """Consistent segment list (active copied) covering ``from_seq``."""
         with self._lock:
             segments = list(self._sealed)
             segments.append(
@@ -425,10 +511,49 @@ class SessionLedger:
             )
         firsts = [seg.first_seq for seg in segments]
         start = max(bisect.bisect_right(firsts, from_seq) - 1, 0)
-        for seg in segments[start:]:
+        return segments[start:]
+
+    def read(self, from_seq: int = 0, end_seq: int | None = None):
+        """Yield records with ``from_seq <= seq < end_seq``, in order.
+
+        Safe against a concurrent writer: the segment list and record
+        counts are snapshotted under the lock, so the iteration sees a
+        consistent prefix of the ledger (records appended afterwards
+        are simply not part of this read).
+        """
+        for seg in self._snapshot_segments(from_seq):
             if end_seq is not None and seg.first_seq >= end_seq:
                 return
             yield from self._iter_segment(seg, from_seq, end_seq)
+
+    def read_encoded(self, from_seq: int = 0, end_seq: int | None = None):
+        """Yield ``(seq, event, payload_bytes)`` without decoding payloads.
+
+        The replay hot path: payload bytes are sliced straight out of
+        the record line (see :func:`_split_record`) and spliced into
+        subscriber frames, so replaying N records costs zero JSON
+        encodes of the payload.  Lines that don't match the canonical
+        record shape fall back to a full decode + re-encode; the same
+        snapshot/consistency guarantees as :meth:`read` apply.
+        """
+        for seg in self._snapshot_segments(from_seq):
+            if end_seq is not None and seg.first_seq >= end_seq:
+                return
+            for line in self._iter_segment_lines(seg, from_seq):
+                parsed = _split_record(line)
+                if parsed is None:
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        return
+                    parsed = (
+                        record["seq"],
+                        record["event"],
+                        _encode_data(record["data"]),
+                    )
+                if end_seq is not None and parsed[0] >= end_seq:
+                    return
+                yield parsed
 
     def stats(self) -> dict:
         with self._lock:

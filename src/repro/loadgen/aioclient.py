@@ -41,6 +41,11 @@ class AsyncServiceClient:
         self._pending: dict[int, asyncio.Future] = {}
         self._next_id = 0
         self._closed = False
+        #: Event-stream wire accounting: frames and raw line bytes
+        #: received on this connection's subscriptions (the report sums
+        #: these across the pool to state delivered telemetry volume).
+        self.event_frames = 0
+        self.event_bytes = 0
         self._read_task = asyncio.get_running_loop().create_task(self._read_loop())
 
     @classmethod
@@ -86,6 +91,8 @@ class AsyncServiceClient:
                     break
                 frame = decode_frame(line)
                 if "event" in frame:
+                    self.event_frames += 1
+                    self.event_bytes += len(line)
                     if self._on_event is not None:
                         self._on_event(frame)
                     continue

@@ -344,12 +344,18 @@ async def run_load_test_async(
         wall_s = time.perf_counter() - t0
         for client in clients:
             await client.close()
+    events = state.events_summary()
+    # Wire-level truth from the connection pool: how many event frames
+    # (and raw bytes) actually crossed the sockets, regardless of what
+    # the per-frame accounting classified them as.
+    events["wire_frames"] = sum(c.event_frames for c in clients)
+    events["wire_bytes"] = sum(c.event_bytes for c in clients)
     report = build_report(
         cfg.to_dict(),
         recorder,
         wall_s=wall_s,
         sessions=state.sessions_summary(cfg.sessions),
-        events=state.events_summary(),
+        events=events,
         slo_step_p99_s=slo_step_p99_s,
         server_info=server_info,
         registry=registry,

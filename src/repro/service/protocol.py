@@ -34,9 +34,11 @@ __all__ = [
     "ServiceError",
     "decode_frame",
     "encode_frame",
+    "encode_payload",
     "error_response",
     "event_frame",
     "ok_response",
+    "splice_event_frame",
 ]
 
 #: Upper bound on one frame's encoded size; longer lines are rejected.
@@ -83,11 +85,75 @@ def _json_default(obj):
     raise TypeError(f"not JSON-serializable: {type(obj).__name__}")
 
 
-def encode_frame(frame: dict) -> bytes:
-    """One frame → one newline-terminated UTF-8 JSON line."""
-    return (
+def encode_frame(frame: dict, max_bytes: int | None = None) -> bytes:
+    """One frame → one newline-terminated UTF-8 JSON line.
+
+    Outbound frames obey the same size bound the receiving side
+    enforces in :func:`decode_frame`: an encoded line longer than
+    ``max_bytes`` (default :data:`MAX_LINE_BYTES`, resolved at call
+    time) raises a structured ``bad_request`` ``ServiceError`` instead
+    of emitting a frame the peer's own decoder would refuse.
+    """
+    line = (
         json.dumps(frame, separators=(",", ":"), default=_json_default) + "\n"
     ).encode("utf-8")
+    limit = MAX_LINE_BYTES if max_bytes is None else max_bytes
+    if len(line) > limit:
+        raise ServiceError(
+            ErrorCode.BAD_REQUEST,
+            f"encoded frame is {len(line)} bytes, over the {limit}-byte "
+            f"line limit; request a smaller window",
+        )
+    return line
+
+
+def encode_payload(data) -> bytes:
+    """Encode one frame's ``data`` dict to compact JSON payload bytes.
+
+    Produces exactly the bytes ``encode_frame`` would place after
+    ``"data":`` — same separators, same numpy coercion — so the result
+    can be spliced into an envelope (:func:`splice_event_frame`) or a
+    ledger record and remain bit-identical to a whole-dict encode.
+    """
+    return json.dumps(data, separators=(",", ":"), default=_json_default).encode(
+        "utf-8"
+    )
+
+
+def splice_event_frame(
+    event: str,
+    session_id: str,
+    subscription_id: str,
+    seq: int,
+    dropped: int,
+    payload: bytes,
+) -> bytes:
+    """Build an encoded event line around pre-encoded payload bytes.
+
+    Bit-identical to ``encode_frame(event_frame(...))`` with the same
+    arguments: the envelope keys are written in :func:`event_frame`
+    insertion order with compact separators, and ``payload`` must come
+    from :func:`encode_payload` (or a ledger record that stored it).
+    The whole point is that the payload — the dominant cost — is
+    encoded once and shared across every subscriber's envelope.
+    """
+    return b"".join(
+        (
+            b'{"event":',
+            json.dumps(event).encode("utf-8"),
+            b',"session":',
+            json.dumps(session_id).encode("utf-8"),
+            b',"subscription":',
+            json.dumps(subscription_id).encode("utf-8"),
+            b',"seq":',
+            str(int(seq)).encode("ascii"),
+            b',"dropped":',
+            str(int(dropped)).encode("ascii"),
+            b',"data":',
+            payload,
+            b"}\n",
+        )
+    )
 
 
 def decode_frame(line: bytes | str) -> dict:

@@ -47,8 +47,8 @@ from .protocol import (
     decode_frame,
     encode_frame,
     error_response,
-    event_frame,
     ok_response,
+    splice_event_frame,
 )
 from .workers import WorkerPool, resolve_workers
 
@@ -68,8 +68,24 @@ class _Connection:
         self.subs: dict[str, tuple] = {}
 
     async def send(self, frame: dict) -> None:
+        await self.send_raw(encode_frame(frame))
+
+    async def send_raw(self, blob: bytes) -> None:
         async with self.write_lock:
-            self.writer.write(encode_frame(frame))
+            self.writer.write(blob)
+            await self.writer.drain()
+
+    async def send_many(self, blobs: list[bytes]) -> None:
+        """Coalesced write: everything buffered in one lock acquire.
+
+        N frames cost one ``b"".join``, one ``write()``, and one
+        ``drain()`` instead of N lock/write/drain round-trips — the
+        output-side half of the serialize-once fan-out.
+        """
+        if not blobs:
+            return
+        async with self.write_lock:
+            self.writer.write(b"".join(blobs))
             await self.writer.drain()
 
     async def flush_sub(self, subscription_id: str) -> None:
@@ -83,8 +99,7 @@ class _Connection:
         if entry is None:
             return
         session, sub, _, _ = entry
-        for frame in session.drain_queue(sub):
-            await self.send(frame)
+        await self.send_many(session.drain_queue_encoded(sub))
 
     def close(self) -> None:
         for _, (session, sub, task, _) in list(self.subs.items()):
@@ -435,6 +450,16 @@ class ServiceServer:
         ).inc(op=str(op), outcome=outcome)
         try:
             await conn.send(response)
+        except ServiceError as exc:
+            # The *response* violated the outbound line limit (e.g. a
+            # close_session(include_epochs=...) window too large for one
+            # frame).  Substitute a structured error so the client
+            # learns why instead of the peer's decoder rejecting the
+            # oversized line — or the connection just going quiet.
+            try:
+                await conn.send(error_response(request_id, exc.code, exc.message))
+            except (ServiceError, ConnectionError):
+                pass
         except ConnectionError:
             pass
 
@@ -613,28 +638,34 @@ class ServiceServer:
         replayed = 0
         cursor = from_seq
         while cursor < end_seq:
+            # read_encoded hands back the payload bytes exactly as the
+            # fan-out persisted them, so each replayed frame is one
+            # envelope splice — zero payload encodes — and the whole
+            # batch goes out as one coalesced write.
             batch = await self._run_blocking(
                 lambda start=cursor: list(
                     itertools.islice(
-                        ledger.read(start, end_seq), self._REPLAY_BATCH
+                        ledger.read_encoded(start, end_seq), self._REPLAY_BATCH
                     )
                 )
             )
             if not batch:
                 break
-            for record in batch:
-                await conn.send(
-                    event_frame(
-                        record["event"],
+            await conn.send_many(
+                [
+                    splice_event_frame(
+                        event,
                         session.session_id,
                         sub.subscription_id,
-                        record["seq"],
-                        record["data"],
-                        dropped=dropped,
+                        seq,
+                        dropped,
+                        payload,
                     )
-                )
+                    for seq, event, payload in batch
+                ]
+            )
             replayed += len(batch)
-            cursor = batch[-1]["seq"] + 1
+            cursor = batch[-1][0] + 1
         obs_metrics.default_registry().counter(
             "repro_ledger_replay_frames_total",
             "Frames replayed from session ledgers to subscribers",
@@ -711,16 +742,20 @@ class ServiceServer:
                 await wake.wait()
                 wake.clear()
                 while True:
-                    frames = session.drain_queue(sub)
-                    if not frames:
+                    blobs = session.drain_queue_encoded(sub)
+                    if not blobs:
                         break
-                    for frame in frames:
-                        await conn.send(frame)
-                        if sub.min_interval_s:
-                            # Throttled delivery: while we sleep, the
-                            # session keeps pushing into the bounded
-                            # queue and sheds the oldest frames.
+                    if sub.min_interval_s:
+                        # Throttled delivery stays frame-at-a-time:
+                        # while we sleep, the session keeps pushing
+                        # into the bounded queue and sheds the oldest.
+                        for blob in blobs:
+                            await conn.send_raw(blob)
                             await asyncio.sleep(sub.min_interval_s)
+                    else:
+                        # Coalesced delivery: the whole backlog in one
+                        # write under one lock acquire.
+                        await conn.send_many(blobs)
         except (ConnectionError, asyncio.CancelledError):
             pass
         finally:

@@ -25,6 +25,7 @@ semantics of the in-process path.
 
 from __future__ import annotations
 
+import json
 import threading
 import time
 from collections import deque
@@ -37,10 +38,16 @@ from ..runner.metrics import RunnerMetrics
 from ..tiering.policies import POLICIES
 from ..tiering.simulator import TieredSimulator
 from ..workloads import WORKLOAD_NAMES, make_workload
-from .protocol import ErrorCode, ServiceError
+from .protocol import ErrorCode, ServiceError, encode_payload, splice_event_frame
 from .telemetry import epoch_metrics_to_dict, simulation_result_to_dict
 
-__all__ = ["ProfilingSession", "SessionBase", "SubscriberQueue", "DEFAULT_MAX_QUEUE"]
+__all__ = [
+    "ProfilingSession",
+    "QueuedFrame",
+    "SessionBase",
+    "SubscriberQueue",
+    "DEFAULT_MAX_QUEUE",
+]
 
 #: Default per-subscriber frame buffer (drop-oldest beyond this).
 DEFAULT_MAX_QUEUE = 64
@@ -73,6 +80,87 @@ def _push_counters():
         )
         _push_counters_cache = cache
     return cache[1], cache[2]
+
+
+class QueuedFrame:
+    """One buffered event frame: envelope fields + shared payload bytes.
+
+    The ``data`` payload lives as *either* the original dict or its
+    pre-encoded JSON bytes (both when already materialized); whichever
+    side is missing is produced lazily.  The encoded side is the hot
+    path — every subscriber queue holds the *same* payload bytes object
+    and :meth:`encode` only splices the tiny per-subscriber envelope
+    around it — while dict access (``frame["data"]``) keeps the
+    original mapping-style API for tests and non-hot-path consumers.
+    """
+
+    __slots__ = (
+        "event",
+        "session_id",
+        "subscription_id",
+        "seq",
+        "dropped",
+        "payload",
+        "_data",
+    )
+
+    def __init__(
+        self,
+        event: str,
+        session_id: str,
+        subscription_id: str,
+        seq: int,
+        dropped: int,
+        payload: bytes | None = None,
+        data: dict | None = None,
+    ):
+        self.event = event
+        self.session_id = session_id
+        self.subscription_id = subscription_id
+        self.seq = seq
+        self.dropped = dropped
+        self.payload = payload
+        self._data = data
+
+    @property
+    def data(self) -> dict:
+        if self._data is None:
+            self._data = json.loads(self.payload)
+        return self._data
+
+    def encode(self) -> bytes:
+        """The frame's wire bytes, splicing the shared payload."""
+        if self.payload is None:
+            self.payload = encode_payload(self._data)
+        return splice_event_frame(
+            self.event,
+            self.session_id,
+            self.subscription_id,
+            self.seq,
+            self.dropped,
+            self.payload,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "event": self.event,
+            "session": self.session_id,
+            "subscription": self.subscription_id,
+            "seq": self.seq,
+            "dropped": self.dropped,
+            "data": self.data,
+        }
+
+    # Mapping-style access mirrors the plain-dict frames this class
+    # replaced, so frame["seq"] / frame.get("data") keep working.
+    def __getitem__(self, key):
+        try:
+            return self.to_dict()[key]
+        except KeyError:
+            raise KeyError(key) from None
+
+    def get(self, key, default=None):
+        return self.to_dict().get(key, default)
 
 
 class SubscriberQueue:
@@ -115,29 +203,49 @@ class SubscriberQueue:
         self.dropped = int(initial_dropped)
         self._frames: deque = deque()
 
-    def push(self, event: str, data: dict) -> dict:
-        """Append one frame, dropping the oldest when full."""
+    def push(
+        self, event: str, data: dict | None = None, payload: bytes | None = None
+    ) -> QueuedFrame:
+        """Append one frame, dropping the oldest when full.
+
+        ``payload`` carries the pre-encoded ``data`` bytes shared with
+        every other subscriber of the same fan-out; passing only
+        ``data`` keeps the old dict-based call shape (the bytes are
+        produced lazily if the frame is ever encoded).
+        """
         frames_total, dropped_total = _push_counters()
         frames_total.inc()
         if len(self._frames) >= self.max_queue:
             self._frames.popleft()
             self.dropped += 1
             dropped_total.inc()
-        frame = {
-            "event": event,
-            "session": self.session_id,
-            "subscription": self.subscription_id,
-            "seq": self.seq,
-            "dropped": self.dropped,
-            "data": data,
-        }
+        frame = QueuedFrame(
+            event,
+            self.session_id,
+            self.subscription_id,
+            self.seq,
+            self.dropped,
+            payload=payload,
+            data=data,
+        )
         self.seq += 1
         self._frames.append(frame)
         return frame
 
-    def drain(self) -> list[dict]:
+    def drain(self) -> list[QueuedFrame]:
         """Remove and return every buffered frame (oldest first)."""
         out = list(self._frames)
+        self._frames.clear()
+        return out
+
+    def drain_encoded(self) -> list[bytes]:
+        """Remove every buffered frame as spliced wire bytes.
+
+        The coalescing pump's path: each blob is bit-identical to
+        ``encode_frame(frame.to_dict())`` but re-uses the fan-out's
+        shared payload bytes instead of re-serializing the dict.
+        """
+        out = [frame.encode() for frame in self._frames]
         self._frames.clear()
         return out
 
@@ -181,6 +289,10 @@ class SessionBase:
         #: Extra frame consumers called on every fan-out (the worker
         #: processes use one to stream epochs back over their pipe).
         self._sinks: list = []
+        #: Like ``_sinks`` but fed ``(event, payload_bytes)`` so a
+        #: consumer that only forwards bytes (the worker pipe) never
+        #: pays a decode/re-encode round trip.
+        self._encoded_sinks: list = []
         #: Session-global frame counter: every fan-out consumes one
         #: number, shared by all subscribers and the ledger.
         self._frame_seq = 0
@@ -250,6 +362,16 @@ class SessionBase:
         """Register ``sink(event, data)`` to see every fan-out frame."""
         self._sinks.append(sink)
 
+    def add_encoded_sink(self, sink) -> None:
+        """Register ``sink(event, payload_bytes)`` for every fan-out.
+
+        The payload bytes are the fan-out's single shared encode of the
+        frame's ``data`` (see :func:`~repro.service.protocol
+        .encode_payload`); a forwarding consumer — the worker pipe —
+        ships them verbatim instead of re-serializing the dict.
+        """
+        self._encoded_sinks.append(sink)
+
     def attach_ledger(self, session_ledger) -> None:
         """Durably record every fan-out frame in ``session_ledger``.
 
@@ -264,14 +386,43 @@ class SessionBase:
 
     def _fanout(self, event: str, data: dict) -> None:
         """Push one frame to every subscriber queue, ledger, and sink."""
+        self._fanout_batch(((event, data, None),))
+
+    def _fanout_encoded_batch(self, batch) -> None:
+        """Fan out pre-encoded ``(event, payload_bytes)`` pairs.
+
+        The worker-pool ingest path: payloads were encoded worker-side
+        (numpy coercion included), so the parent splices them straight
+        into subscriber frames and ledger records without ever
+        materializing the dict — unless a plain dict sink asks for it.
+        """
+        self._fanout_batch((event, None, payload) for event, payload in batch)
+
+    def _fanout_batch(self, items) -> None:
+        """Serialize-once fan-out of ``(event, data, payload)`` triples.
+
+        Each item's payload is encoded exactly once — here, inside the
+        subscriber-lock critical section, unless the caller already
+        supplies the bytes — and that single bytes object is shared by
+        every subscriber queue and the ledger record.  ``data`` may be
+        ``None`` when only the bytes exist (worker ingest); dict sinks
+        then decode it lazily, off the hot path.
+        """
+        shared: list = []  # (event, data_or_None, payload)
         with self._sub_lock:
-            self._frame_seq += 1
             subs = list(self._subscribers.values())
-            for sub in subs:
-                sub.push(event, data)
-            if self.ledger is not None:
+            for event, data, payload in items:
+                if payload is None:
+                    payload = encode_payload(data)
+                self._frame_seq += 1
+                for sub in subs:
+                    sub.push(event, data, payload=payload)
+                shared.append((event, data, payload))
+            if self.ledger is not None and shared:
                 try:
-                    self.ledger.append(event, data)
+                    self.ledger.append_many(
+                        [(event, payload) for event, _, payload in shared]
+                    )
                 except (OSError, ValueError):
                     obs_metrics.default_registry().counter(
                         "repro_ledger_append_errors_total",
@@ -280,8 +431,15 @@ class SessionBase:
         for sub in subs:
             if sub.notify is not None:
                 sub.notify()
-        for sink in self._sinks:
-            sink(event, data)
+        if self._encoded_sinks or self._sinks:
+            for event, data, payload in shared:
+                for sink in self._encoded_sinks:
+                    sink(event, payload)
+                if self._sinks:
+                    if data is None:
+                        data = json.loads(payload)
+                    for sink in self._sinks:
+                        sink(event, data)
 
     def subscribe(
         self,
@@ -321,13 +479,13 @@ class SessionBase:
         with self._sub_lock:
             return self._subscribers.pop(subscription_id, None) is not None
 
-    def drain_subscriber(self, subscription_id: str) -> list[dict]:
+    def drain_subscriber(self, subscription_id: str) -> list[QueuedFrame]:
         """Pop buffered frames for one subscription (loop-side path)."""
         with self._sub_lock:
             sub = self._subscribers.get(subscription_id)
             return sub.drain() if sub is not None else []
 
-    def drain_queue(self, sub: SubscriberQueue) -> list[dict]:
+    def drain_queue(self, sub: SubscriberQueue) -> list[QueuedFrame]:
         """Drain a queue object directly, even after it was detached.
 
         The server's pump holds the queue object, so goodbye frames
@@ -336,6 +494,11 @@ class SessionBase:
         """
         with self._sub_lock:
             return sub.drain()
+
+    def drain_queue_encoded(self, sub: SubscriberQueue) -> list[bytes]:
+        """Drain a queue straight to wire bytes (the pump's hot path)."""
+        with self._sub_lock:
+            return sub.drain_encoded()
 
 
 class ProfilingSession(SessionBase):

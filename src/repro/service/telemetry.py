@@ -8,6 +8,13 @@ protocol — see ``docs/service.md`` — so changes here are protocol
 changes *and* ledger format changes: bump
 :data:`repro.ledger.storage.LEDGER_FORMAT_VERSION` when a shape
 changes incompatibly, or old ledgers will replay wrong.
+
+The shared shape is also what makes the serialize-once fan-out work:
+each epoch dict is JSON-encoded exactly once
+(:func:`~repro.service.protocol.encode_payload`) and those bytes are
+spliced verbatim into every subscriber's wire frame *and* the ledger
+record's ``data`` field, so wire and disk stay bit-identical by
+construction rather than by parallel encoders.
 """
 
 from __future__ import annotations

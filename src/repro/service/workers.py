@@ -16,11 +16,16 @@ Wire shape on each pipe (pickled tuples):
 
 parent → worker   ``(request_id, op, payload)``
 worker → parent   ``("reply", request_id, ok, payload)`` or
-                  ``("event", session_id, event, data)``
+                  ``("events", session_id, [(event, payload_bytes), ...])``
 
-Event tuples stream *during* a step — the worker's epoch sink sends
-one per scored epoch — so subscribers see epoch ``k`` while ``k+1``
-is still executing, exactly like the in-process path.
+Epoch telemetry is *pre-encoded worker-side*: the worker's encoded
+sink receives each frame's payload already serialized to compact JSON
+bytes (numpy coercion applied where the numpy objects live), batches
+up to :data:`EVENT_BATCH_MAX` of them per pipe message, and flushes
+before every reply — so event batches still stream *during* a long
+step and always land before the step's own reply, while the parent
+splices the bytes straight into subscriber frames and ledger records
+without ever touching the payload dict on the hot path.
 
 Failure contract: a dead worker (killed pid, broken pipe) fails only
 its own sessions — every pending request on that pipe raises
@@ -56,6 +61,38 @@ _log = obs_log.get_logger("service.workers")
 #: How long :meth:`WorkerPool.shutdown` waits for a worker to drain.
 DEFAULT_JOIN_TIMEOUT_S = 10.0
 
+#: Epoch events batched per worker → parent pipe message.  Bounded so
+#: a long step still streams telemetry while it runs; small enough
+#: that one message never approaches the pipe's buffer limits.
+EVENT_BATCH_MAX = 32
+
+
+class _EventBatcher:
+    """Worker-side encoded sink: batch pre-encoded events per pipe send.
+
+    Registered via ``session.add_encoded_sink`` so it receives each
+    fan-out's single shared payload encode; it owns no serialization of
+    its own.  ``flush`` is called by the worker loop before every
+    reply, preserving the old ordering guarantee that all of a step's
+    epoch events reach the parent before the step's reply does.
+    """
+
+    def __init__(self, conn, session_id: str, max_batch: int = EVENT_BATCH_MAX):
+        self._conn = conn
+        self._session_id = session_id
+        self._max_batch = max_batch
+        self._buffer: list[tuple[str, bytes]] = []
+
+    def __call__(self, event: str, payload: bytes) -> None:
+        self._buffer.append((event, payload))
+        if len(self._buffer) >= self._max_batch:
+            self.flush()
+
+    def flush(self) -> None:
+        if self._buffer:
+            batch, self._buffer = self._buffer, []
+            self._conn.send(("events", self._session_id, batch))
+
 
 def resolve_workers(workers: int | None) -> int:
     """``None`` → ``$REPRO_SERVICE_WORKERS`` or ``os.cpu_count()``.
@@ -86,6 +123,12 @@ def _worker_main(conn, worker_id: int) -> None:
     from .session import ProfilingSession
 
     sessions: dict[str, ProfilingSession] = {}
+    batchers: dict[str, _EventBatcher] = {}
+
+    def attach_batcher(session, session_id):
+        batcher = _EventBatcher(conn, session_id)
+        session.add_encoded_sink(batcher)
+        batchers[session_id] = batcher
 
     def get(session_id):
         session = sessions.get(session_id)
@@ -103,10 +146,9 @@ def _worker_main(conn, worker_id: int) -> None:
                 session = ProfilingSession(session_id, **params)
             except TypeError as exc:  # mirror SessionManager.create
                 raise ServiceError(ErrorCode.BAD_PARAMS, str(exc)) from exc
-            # Stream every scored epoch back while the step executes.
-            session.add_sink(
-                lambda event, data: conn.send(("event", session_id, event, data))
-            )
+            # Stream scored epochs back (batched, pre-encoded) while
+            # the step executes.
+            attach_batcher(session, session_id)
             sessions[session_id] = session
             return session.info()
         if op == "recover":
@@ -124,9 +166,7 @@ def _worker_main(conn, worker_id: int) -> None:
                 raise ServiceError(ErrorCode.BAD_PARAMS, str(exc)) from exc
             if epochs > 0:
                 session.sim.step(epochs)
-            session.add_sink(
-                lambda event, data: conn.send(("event", session_id, event, data))
-            )
+            attach_batcher(session, session_id)
             sessions[session_id] = session
             return session.info()
         if op == "step":
@@ -144,6 +184,7 @@ def _worker_main(conn, worker_id: int) -> None:
             session_id, options = payload
             summary = get(session_id).close(**options)
             sessions.pop(session_id, None)
+            batchers.pop(session_id, None)
             return summary
         if op == "ping":
             return {"worker": worker_id, "pid": os.getpid(), "sessions": len(sessions)}
@@ -175,6 +216,13 @@ def _worker_main(conn, worker_id: int) -> None:
         except Exception as exc:  # noqa: BLE001 — a bad session must not kill the worker
             reply = ("reply", request_id, False,
                      (ErrorCode.INTERNAL, f"{type(exc).__name__}: {exc}"))
+        # Ship any buffered epoch batches before the reply, keeping the
+        # old guarantee that a step's events precede its reply.
+        for batcher in batchers.values():
+            try:
+                batcher.flush()
+            except (EOFError, BrokenPipeError, OSError):
+                pass
         try:
             conn.send(reply)
         except (EOFError, BrokenPipeError, OSError):
@@ -219,10 +267,10 @@ class WorkerHandle:
     respawns a fresh process in place (``generation`` advances).
     """
 
-    def __init__(self, index: int, ctx, on_event, on_death):
+    def __init__(self, index: int, ctx, on_events, on_death):
         self.index = index
         self._ctx = ctx
-        self._on_event = on_event
+        self._on_events = on_events
         self._on_death = on_death
         #: Session ids currently pinned to this slot.
         self.sessions: set[str] = set()
@@ -301,9 +349,9 @@ class WorkerHandle:
                         future = self._pending.pop(request_id, None)
                     if future is not None:
                         future.set_result((ok, payload))
-                elif kind == "event":
-                    _, session_id, event, data = message
-                    self._on_event(session_id, event, data)
+                elif kind == "events":
+                    _, session_id, batch = message
+                    self._on_events(session_id, batch)
         except (EOFError, OSError):
             pass
         finally:
@@ -518,17 +566,23 @@ class WorkerPool:
         self._sessions: dict[str, RemoteSession] = {}
         self.respawns = 0
         self.workers = [
-            WorkerHandle(i, self._ctx, self._route_event, self._worker_died)
+            WorkerHandle(i, self._ctx, self._route_events, self._worker_died)
             for i in range(self.n_workers)
         ]
 
     # ------------------------------------------------------------- routing
 
-    def _route_event(self, session_id: str, event: str, data: dict) -> None:
+    def _route_events(self, session_id: str, batch) -> None:
+        """Fan one worker pipe batch of pre-encoded events out.
+
+        The payload bytes were encoded in the worker; the parent
+        splices them into subscriber frames and ledger records without
+        decoding (dict sinks, if any, decode lazily per frame).
+        """
         with self._lock:
             session = self._sessions.get(session_id)
         if session is not None:
-            session._fanout(event, data)
+            session._fanout_encoded_batch(batch)
 
     def _worker_died(self, index: int, lost: list[str], message: str) -> None:
         self.respawns += 1

@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.ledger.storage import SessionLedger
+from repro.service.protocol import encode_payload
 
 
 def _fill(ledger, n, start=0):
@@ -51,6 +52,124 @@ class TestAppendRead:
     def test_fsync_policy_validated(self, tmp_path):
         with pytest.raises(ValueError):
             SessionLedger(tmp_path, fsync="sometimes")
+
+
+class TestBatchedAppend:
+    def test_append_many_assigns_sequential_seqs(self, tmp_path):
+        ledger = SessionLedger(tmp_path)
+        first = ledger.append_many(
+            [("epoch", encode_payload({"epoch": i})) for i in range(5)]
+        )
+        assert first == 0
+        assert ledger.next_seq == 5
+        second = ledger.append_many([("error", encode_payload({"code": "x"}))])
+        assert second == 5
+        records = list(ledger.read())
+        assert [r["seq"] for r in records] == [0, 1, 2, 3, 4, 5]
+        assert [r["data"].get("epoch") for r in records[:5]] == [0, 1, 2, 3, 4]
+        ledger.close()
+
+    def test_empty_batch_is_a_noop(self, tmp_path):
+        ledger = SessionLedger(tmp_path)
+        _fill(ledger, 3)
+        assert ledger.append_many([]) == 3
+        assert ledger.next_seq == 3
+        ledger.close()
+
+    def test_batch_shares_one_timestamp(self, tmp_path):
+        ledger = SessionLedger(tmp_path)
+        ledger.append_many(
+            [("epoch", encode_payload({"epoch": i})) for i in range(4)]
+        )
+        ledger.append("epoch", {"epoch": 4})
+        records = list(ledger.read())
+        batch_stamps = {r["unix"] for r in records[:4]}
+        assert len(batch_stamps) == 1
+        assert all(isinstance(r["unix"], float) for r in records)
+        ledger.close()
+
+    def test_always_fsyncs_once_per_batch(self, tmp_path, monkeypatch):
+        ledger = SessionLedger(tmp_path, fsync="always")
+        calls = []
+        monkeypatch.setattr(
+            "repro.ledger.storage.os.fsync", lambda fd: calls.append(fd)
+        )
+        ledger.append_many(
+            [("epoch", encode_payload({"epoch": i})) for i in range(16)]
+        )
+        assert len(calls) == 1  # one batch, one fsync
+        ledger.append("epoch", {"epoch": 16})
+        assert len(calls) == 2  # a 1-record batch still pays exactly one
+        ledger.close()
+
+    def test_append_encoded_is_bit_identical_to_append(self, tmp_path):
+        data = {"epoch": 1, "hitrate": 0.5, "note": 'tricky ,"unix": text'}
+        ledger = SessionLedger(tmp_path)
+        ledger.append("epoch", data)
+        ledger.append_encoded("epoch", encode_payload(data))
+        payloads = [p for _, _, p in ledger.read_encoded()]
+        assert payloads[0] == payloads[1] == encode_payload(data)
+        ledger.close()
+
+    def test_read_encoded_matches_read_across_segments(self, tmp_path):
+        ledger = SessionLedger(tmp_path, segment_bytes=256)
+        for i in range(20):
+            ledger.append(
+                "epoch" if i % 3 else "error",
+                {"epoch": i, "s": f'","data": {i} ,"unix":'},
+            )
+        decoded = list(ledger.read(3, 17))
+        encoded = list(ledger.read_encoded(3, 17))
+        assert [seq for seq, _, _ in encoded] == [r["seq"] for r in decoded]
+        assert [event for _, event, _ in encoded] == [
+            r["event"] for r in decoded
+        ]
+        for (_, _, payload), record in zip(encoded, decoded):
+            assert json.loads(payload) == record["data"]
+        ledger.close()
+
+    def test_rotation_seals_without_rereading_the_segment(
+        self, tmp_path, monkeypatch
+    ):
+        ledger = SessionLedger(tmp_path, segment_bytes=256)
+
+        def bomb(self, seg, from_seq):
+            raise AssertionError("append path re-read a segment file")
+
+        with monkeypatch.context() as patch:
+            patch.setattr(SessionLedger, "_iter_segment_lines", bomb)
+            _fill(ledger, 30)  # rotates several times under the bomb
+        ledger.close()
+        sidecars = sorted(tmp_path.glob("seg-*.idx"))
+        assert sidecars
+        for sidecar in sidecars:
+            index = json.loads(sidecar.read_text())
+            seg = sidecar.with_suffix(".jsonl")
+            lines = seg.read_bytes().splitlines(keepends=True)
+            assert index["count"] == len(lines)
+            assert index["bytes"] == seg.stat().st_size
+            # Sealed offsets must point at the real line starts.
+            expected, offset = [], 0
+            for line in lines:
+                expected.append(offset)
+                offset += len(line)
+            assert index["offsets"] == expected
+            assert index["epochs"] == sum(
+                1 for line in lines if b'"event":"epoch"' in line
+            )
+
+    def test_mixed_batch_counts_only_epochs(self, tmp_path):
+        ledger = SessionLedger(tmp_path)
+        ledger.append_many(
+            [
+                ("epoch", encode_payload({"epoch": 0})),
+                ("error", encode_payload({"code": "evicted"})),
+                ("epoch", encode_payload({"epoch": 1})),
+            ]
+        )
+        assert ledger.epoch_count == 2
+        assert ledger.stats()["epochs"] == 2
+        ledger.close()
 
 
 class TestRotation:

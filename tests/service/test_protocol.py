@@ -9,9 +9,11 @@ from repro.service.protocol import (
     ServiceError,
     decode_frame,
     encode_frame,
+    encode_payload,
     error_response,
     event_frame,
     ok_response,
+    splice_event_frame,
 )
 
 
@@ -33,6 +35,26 @@ class TestEncode:
     def test_unserializable_rejected(self):
         with pytest.raises(TypeError):
             encode_frame({"bad": object()})
+
+    def test_oversized_outbound_frame_rejected(self):
+        frame = {"id": 1, "ok": True, "result": {"blob": "x" * MAX_LINE_BYTES}}
+        with pytest.raises(ServiceError) as exc:
+            encode_frame(frame)
+        assert exc.value.code == ErrorCode.BAD_REQUEST
+        assert "smaller window" in exc.value.message
+
+    def test_outbound_limit_is_resolved_at_call_time(self, monkeypatch):
+        frame = {"id": 1, "ok": True, "result": {"blob": "x" * 256}}
+        assert encode_frame(frame)  # fine at the default limit
+        monkeypatch.setattr("repro.service.protocol.MAX_LINE_BYTES", 64)
+        with pytest.raises(ServiceError):
+            encode_frame(frame)
+
+    def test_explicit_max_bytes_overrides_default(self):
+        frame = {"id": 1, "op": "ping"}
+        assert encode_frame(frame, max_bytes=64)
+        with pytest.raises(ServiceError):
+            encode_frame(frame, max_bytes=4)
 
 
 class TestDecode:
@@ -70,3 +92,31 @@ class TestFrames:
         assert frame["seq"] == 5
         assert frame["dropped"] == 2
         assert "id" not in frame
+
+
+class TestSplice:
+    def test_splice_matches_whole_frame_encode(self):
+        data = {"epoch": 3, "hitrate": 0.875, "latency": {"total_s": 1e-3}}
+        payload = encode_payload(data)
+        spliced = splice_event_frame("epoch", "s1", "s1.sub2", 9, 4, payload)
+        whole = encode_frame(event_frame("epoch", "s1", "s1.sub2", 9, data, dropped=4))
+        assert spliced == whole
+
+    def test_splice_survives_hostile_strings(self):
+        # Quotes, backslashes, newlines and non-ASCII in ids and data —
+        # everything json.dumps escapes must escape identically on both
+        # paths or the marker-based ledger splitter would misparse.
+        data = {'k"ey': 'v"al\\ue\nwith ,"data": inside', "π": "héllo"}
+        sid = 's"1\\'
+        sub = 's"1.sub,"seq":'
+        payload = encode_payload(data)
+        spliced = splice_event_frame("error", sid, sub, 0, 0, payload)
+        whole = encode_frame(event_frame("error", sid, sub, 0, data))
+        assert spliced == whole
+        assert decode_frame(spliced)["data"] == data
+
+    def test_encode_payload_coerces_numpy(self):
+        data = {"hit": np.float64(0.25), "arr": np.arange(3)}
+        payload = encode_payload(data)
+        spliced = splice_event_frame("epoch", "s1", "s1.sub1", 1, 0, payload)
+        assert decode_frame(spliced)["data"] == {"hit": 0.25, "arr": [0, 1, 2]}

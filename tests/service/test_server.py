@@ -211,6 +211,154 @@ class TestBackpressure:
         assert frames[-1]["seq"] == 11  # the newest epoch survived
 
 
+class TestCoalescedWriter:
+    """The output side of serialize-once: batched writes per connection."""
+
+    def test_stalled_connection_does_not_wedge_other_pumps(self):
+        epochs = 30
+        chunk = 5
+        subs = 8
+
+        async def main():
+            import socket
+
+            server = await _start_server(max_sessions=4, step_workers=4)
+            driver = await WireClient.open(server.address)
+            # The stalled client caps its receive buffer so the
+            # server-side socket fills after a few KB of frames.
+            raw = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            raw.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 4096)
+            raw.connect(tuple(server.address))
+            # A small StreamReader limit keeps the client from slurping
+            # unread frames into user space: once ~2 KB is buffered the
+            # reader pauses the transport and the kernel buffers fill.
+            reader, writer = await asyncio.open_connection(sock=raw, limit=2048)
+            stalled = WireClient(reader, writer)
+            try:
+                sid_a = (
+                    await driver.request(
+                        "create_session", workload="gups",
+                        workload_kwargs=dict(SMALL),
+                    )
+                )["session"]
+                sid_b = (
+                    await driver.request(
+                        "create_session", workload="xsbench",
+                        workload_kwargs=dict(SMALL), seed=1,
+                    )
+                )["session"]
+                for _ in range(subs):
+                    await stalled.request(
+                        "subscribe", session=sid_a, max_queue=4
+                    )
+                await driver.request("subscribe", session=sid_b, max_queue=64)
+                # Shrink every server-side send buffer so the stalled
+                # connection's pump wedges in drain() after a few KB
+                # (the driver reads promptly, so it never blocks).
+                for conn in server._connections:
+                    sock = conn.writer.get_extra_info("socket")
+                    if sock is not None:
+                        sock.setsockopt(
+                            socket.SOL_SOCKET, socket.SO_SNDBUF, 4096
+                        )
+                    conn.writer.transport.set_write_buffer_limits(high=1024)
+
+                # The stalled client reads nothing while both sessions
+                # step; the driver's subscription must stream freely.
+                t0 = asyncio.get_running_loop().time()
+                for _ in range(0, epochs, chunk):
+                    await driver.request("step", session=sid_a, epochs=chunk)
+                    await driver.request("step", session=sid_b, epochs=chunk)
+                b_frames = [await driver.next_event() for _ in range(epochs)]
+                elapsed = asyncio.get_running_loop().time() - t0
+                assert [f["seq"] for f in b_frames] == list(range(epochs))
+                assert all(f["dropped"] == 0 for f in b_frames)
+                assert elapsed < 60.0
+
+                # Now drain the stalled connection: every subscription
+                # must surface the newest frame with exact drop-oldest
+                # accounting (pushed == delivered + dropped).
+                per_sub: dict[str, list] = {}
+                while len(per_sub) < subs or any(
+                    frames[-1]["seq"] != epochs - 1
+                    for frames in per_sub.values()
+                ):
+                    frame = await asyncio.wait_for(stalled.next_event(), 30)
+                    per_sub.setdefault(frame["subscription"], []).append(frame)
+                return per_sub
+            finally:
+                await stalled.close()
+                await driver.close()
+                await server.drain()
+
+        per_sub = run_async(main())
+        assert len(per_sub) == subs
+        total_dropped = 0
+        for frames in per_sub.values():
+            seqs = [f["seq"] for f in frames]
+            assert seqs == sorted(seqs)
+            assert seqs[-1] == 29  # the newest epoch always survives
+            last = frames[-1]
+            # Exact accounting: 30 pushed = delivered + cumulative drops.
+            assert last["dropped"] == 30 - len(frames)
+            total_dropped += last["dropped"]
+        # The wedge must actually have produced drop-oldest shedding.
+        assert total_dropped > 0
+
+
+class TestOversizedResponse:
+    """Outbound frames obey MAX_LINE_BYTES with a structured error."""
+
+    def test_oversized_epoch_window_is_bad_request(self, monkeypatch):
+        # Shrink the outbound limit (resolved at call time inside
+        # encode_frame); the server's inbound readline limit was bound
+        # at start() and small requests/responses stay well under 4 KB.
+        monkeypatch.setattr("repro.service.protocol.MAX_LINE_BYTES", 4096)
+        epochs = 50
+
+        async def main():
+            server = await _start_server()
+            client = await WireClient.open(server.address)
+            try:
+                sid = (
+                    await client.request(
+                        "create_session", workload="gups",
+                        workload_kwargs=dict(SMALL),
+                    )
+                )["session"]
+                for _ in range(0, epochs, 5):
+                    await client.request("step", session=sid, epochs=5)
+                try:
+                    await client.request(
+                        "close_session", session=sid, include_epochs=True
+                    )
+                    raise AssertionError("oversized response should fail")
+                except ServiceError as exc:
+                    assert exc.code == "bad_request"
+                    assert "smaller window" in exc.message
+                # The connection survives the substituted error frame —
+                # no oversized line ever hit the socket.
+                assert (await client.request("ping"))["pong"] is True
+                # A bounded window on a fresh session encodes fine.
+                sid2 = (
+                    await client.request(
+                        "create_session", workload="gups",
+                        workload_kwargs=dict(SMALL),
+                    )
+                )["session"]
+                await client.request("step", session=sid2, epochs=5)
+                result = await client.request(
+                    "close_session", session=sid2, include_epochs=True,
+                    epochs_from=0, epochs_to=5,
+                )
+                assert len(result["result"]["epochs"]) == 5
+            finally:
+                await client.close()
+                await server.drain()
+
+        run_async(main())
+
+
 class TestAdmissionAndErrors:
     def test_admission_limit_over_wire(self):
         async def main():

@@ -182,6 +182,26 @@ class TestRunnerThroughput:
             f"per-pair median {report['pair_fraction']:.2%})"
         )
 
+    @pytest.mark.skipif(
+        (os.cpu_count() or 1) < 2, reason="perf floor needs >= 2 cores"
+    )
+    @pytest.mark.skipif(
+        "coverage" in sys.modules, reason="coverage tracing skews the ratio"
+    )
+    def test_fanout_serialize_once_speedup_floor(self):
+        # Acceptance: at 16 subscribers per session, encoding the
+        # payload once and splicing per-subscriber envelopes clears 3x
+        # over the old encode-per-subscriber fan-out (the benchmark
+        # records ~5x; 3x absorbs slow CI boxes).  Scored min-of-5 on
+        # CPU time, so wall-clock noise doesn't move it.
+        bench = _load_bench_service()
+        kernel = bench.run_fanout_kernel()
+        assert kernel["speedup"] >= 3.0, (
+            f"serialize-once fan-out only {kernel['speedup']:.2f}x over "
+            f"encode-per-subscriber ({kernel['legacy_frames_per_s']:.0f} "
+            f"vs {kernel['spliced_frames_per_s']:.0f} frames/s)"
+        )
+
     def test_ledger_overhead_under_5_percent(self):
         # Acceptance: persisting every epoch frame to the telemetry
         # ledger (default fsync="rotate") costs < 5% step throughput
