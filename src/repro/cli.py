@@ -146,6 +146,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="evict sessions idle longer than this (<= 0 disables)",
     )
     p.add_argument(
+        "--reap-interval", type=float, default=5.0, metavar="SECONDS",
+        help="how often the reaper scans for idle sessions (<= 0 disables)",
+    )
+    p.add_argument(
         "--step-workers", type=_positive_int, default=None, metavar="N",
         help="worker threads executing session steps",
     )
@@ -179,6 +183,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--ledger-retention-bytes", type=_positive_int, default=None,
         metavar="N",
         help="compact each session's oldest sealed segments above this size",
+    )
+    p.add_argument(
+        "--evict-to-disk", action="store_true",
+        help="checkpoint idle-evicted sessions to the ledger instead of "
+        "discarding them; resume_session re-admits them bit-identically "
+        "(needs --ledger-dir)",
     )
     p.add_argument(
         "--tenant-quota", type=_positive_int, default=None, metavar="N",
@@ -280,6 +290,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--spawn-max-inflight-steps", type=_positive_int, default=None,
         metavar="N", help="--max-inflight-steps for the spawned server",
+    )
+    p.add_argument(
+        "--spawn-idle-ttl", type=float, default=None, metavar="SECONDS",
+        help="--idle-ttl for the spawned server",
+    )
+    p.add_argument(
+        "--spawn-reap-interval", type=float, default=None, metavar="SECONDS",
+        help="--reap-interval for the spawned server",
+    )
+    p.add_argument(
+        "--spawn-ledger-dir", default=None, metavar="DIR",
+        help="--ledger-dir for the spawned server",
+    )
+    p.add_argument(
+        "--spawn-evict-to-disk", action="store_true",
+        help="--evict-to-disk for the spawned server "
+        "(needs --spawn-ledger-dir)",
+    )
+    p.add_argument(
+        "--evict-resume-fraction", type=float, default=0.0,
+        help="fraction of sessions that pause mid-life, wait to be "
+        "idle-evicted (checkpointed), then resume_session and finish",
+    )
+    p.add_argument(
+        "--evict-wait", type=float, default=10.0, metavar="SECONDS",
+        help="max wall-clock an evict/resume session waits to be evicted",
     )
 
     p = sub.add_parser(
@@ -674,6 +710,8 @@ def _cmd_serve(args) -> int:
     if metrics_port is None and os.environ.get("REPRO_METRICS_PORT"):
         metrics_port = int(os.environ["REPRO_METRICS_PORT"])
     ledger_dir = args.ledger_dir or os.environ.get("REPRO_LEDGER_DIR") or None
+    if args.evict_to_disk and not ledger_dir:
+        raise SystemExit("--evict-to-disk needs --ledger-dir")
 
     async def _serve() -> None:
         server = ServiceServer(
@@ -682,6 +720,7 @@ def _cmd_serve(args) -> int:
             socket_path=args.socket,
             max_sessions=args.max_sessions,
             idle_ttl_s=args.idle_ttl,
+            reap_interval_s=args.reap_interval,
             step_workers=args.step_workers,
             workers=args.workers,
             metrics_port=metrics_port,
@@ -690,6 +729,7 @@ def _cmd_serve(args) -> int:
             ledger_retention_bytes=args.ledger_retention_bytes,
             tenant_quota=args.tenant_quota,
             max_inflight_steps=args.max_inflight_steps,
+            evict_to_disk=args.evict_to_disk,
         )
         await server.start()
         if isinstance(server.address, tuple):
@@ -739,6 +779,14 @@ def _spawn_server(args, socket_path: str):
         cmd += ["--tenant-quota", str(args.spawn_tenant_quota)]
     if args.spawn_max_inflight_steps is not None:
         cmd += ["--max-inflight-steps", str(args.spawn_max_inflight_steps)]
+    if args.spawn_idle_ttl is not None:
+        cmd += ["--idle-ttl", str(args.spawn_idle_ttl)]
+    if args.spawn_reap_interval is not None:
+        cmd += ["--reap-interval", str(args.spawn_reap_interval)]
+    if args.spawn_ledger_dir is not None:
+        cmd += ["--ledger-dir", args.spawn_ledger_dir]
+    if args.spawn_evict_to_disk:
+        cmd += ["--evict-to-disk"]
     proc = subprocess.Popen(cmd)
     deadline = timelib.monotonic() + 30.0
     while timelib.monotonic() < deadline:
@@ -780,6 +828,8 @@ def _cmd_loadtest(args) -> int:
         tenants=args.tenants,
         seed=args.seed,
         timeout_s=args.timeout,
+        evict_resume_fraction=args.evict_resume_fraction,
+        evict_wait_s=args.evict_wait,
     )
     proc = None
     tmpdir = None
@@ -813,11 +863,13 @@ def _cmd_loadtest(args) -> int:
             tmpdir.cleanup()
     write_report(args.out, report)
     sessions = report["sessions"]
+    timed_out = " TIMED OUT" if report.get("timed_out") else ""
     print(
-        f"loadtest: {sessions['completed']}/{sessions['target']} sessions "
-        f"completed (peak concurrent {sessions['peak_concurrent']}, "
+        f"loadtest{timed_out}: {sessions['completed']}/{sessions['target']} "
+        f"sessions completed (peak concurrent {sessions['peak_concurrent']}, "
         f"rejected {sum(sessions['rejected'].values())}, "
-        f"evicted mid-life {sessions['evicted_midlife']}) "
+        f"evicted mid-life {sessions['evicted_midlife']}, "
+        f"resumed {sessions['resumed']}) "
         f"in {report['wall_s']:.2f}s -> {args.out}"
     )
     for op, stats in sorted(report["ops"].items()):

@@ -122,6 +122,57 @@ class Ledger:
             raise FileNotFoundError(f"no ledger for session {session_id!r}")
         return self._make(directory)
 
+    # --------------------------------------------------------- checkpoints
+
+    def checkpoint_path(self, session_id: str) -> Path:
+        return self.session_dir(session_id) / "checkpoint.json"
+
+    def write_checkpoint(self, session_id: str, data: dict) -> dict:
+        """Persist an idle-eviction checkpoint marker for ``session_id``.
+
+        The marker is tiny on purpose: the ledger's ``meta.json``
+        already records the full creation config (and its
+        ``config_key``) and the segment chain already holds the epoch
+        history, so the checkpoint only pins the *moment* of eviction —
+        epoch count, frame seq, tenant — that a later ``resume_session``
+        re-admits from.  Written atomically so a crash mid-eviction
+        leaves either no marker (session not resumable, nothing lost
+        but the voluntary eviction) or a complete one.
+        """
+        directory = self.session_dir(session_id)
+        if not directory.is_dir():
+            raise FileNotFoundError(f"no ledger for session {session_id!r}")
+        marker = {
+            "format": LEDGER_FORMAT_VERSION,
+            "session": str(session_id),
+            "checkpoint_unix": time.time(),
+            **_canonical(data),
+        }
+        atomic_write_bytes(
+            self.checkpoint_path(session_id),
+            json.dumps(marker, indent=2, sort_keys=True).encode(),
+            durable=self.fsync != "never",
+        )
+        return marker
+
+    def load_checkpoint(self, session_id: str) -> dict | None:
+        """The eviction checkpoint marker, or None when absent/corrupt."""
+        try:
+            marker = json.loads(self.checkpoint_path(session_id).read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(marker, dict) or "session" not in marker:
+            return None
+        return marker
+
+    def clear_checkpoint(self, session_id: str) -> bool:
+        """Drop the marker (the session resumed); True when one existed."""
+        try:
+            self.checkpoint_path(session_id).unlink()
+            return True
+        except OSError:
+            return False
+
     def load_meta(self, session_id: str) -> dict | None:
         """The recorded creation config, or None when absent/corrupt."""
         try:

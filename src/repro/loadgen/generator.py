@@ -77,6 +77,13 @@ class LoadTestConfig:
     overload_backoff_s: float = 0.05
     #: Hard wall-clock cap on the whole run.
     timeout_s: float = 300.0
+    #: Fraction of sessions exercising the checkpoint/resume lifecycle:
+    #: run half their steps, go idle until the reaper evicts (and, with
+    #: ``--evict-to-disk``, checkpoints) them, then ``resume_session``
+    #: and finish.  Needs a server with a ledger and a short idle TTL.
+    evict_resume_fraction: float = 0.0
+    #: Max wall-clock an evict/resume session waits to be evicted.
+    evict_wait_s: float = 10.0
 
     def __post_init__(self):
         if self.sessions < 1:
@@ -105,6 +112,9 @@ class _RunState:
         self.evicted_midlife = 0
         self.step_overload_retries = 0
         self.steps_abandoned = 0
+        self.resumed = 0
+        self.resume_failed = 0
+        self.cancelled = 0
         # Event-stream accounting, fed by connection reader callbacks.
         self.epoch_frames = 0
         self.goodbyes: dict[str, int] = {}
@@ -116,9 +126,15 @@ class _RunState:
         self.live += 1
         self.peak_concurrent = max(self.peak_concurrent, self.live)
 
-    def session_finished(self):
+    def session_finished(self, completed: bool = True):
         self.live -= 1
-        self.completed += 1
+        if completed:
+            self.completed += 1
+        else:
+            # Reaped by the run's wall-clock cap mid-life: neither
+            # completed nor rejected — a timed-out run must not report
+            # its cancelled stragglers as successes.
+            self.cancelled += 1
 
     def reject(self, code: str):
         self.rejected[code] = self.rejected.get(code, 0) + 1
@@ -163,6 +179,9 @@ class _RunState:
             "peak_concurrent": self.peak_concurrent,
             "step_overload_retries": self.step_overload_retries,
             "steps_abandoned": self.steps_abandoned,
+            "resumed": self.resumed,
+            "resume_failed": self.resume_failed,
+            "cancelled": self.cancelled,
         }
 
 
@@ -208,17 +227,11 @@ async def _session_task(
     session_id = created["session"]
     state.session_started()
     evicted = False
-    try:
-        if rng.random() < cfg.subscribe_fraction:
-            try:
-                await _timed(
-                    recorder,
-                    "subscribe",
-                    client.request("subscribe", session=session_id, max_queue=32),
-                )
-            except ServiceError:
-                pass  # counted by _timed; session continues unsubscribed
-        for _ in range(cfg.steps_per_session):
+
+    async def _run_steps(count: int) -> bool:
+        """Run ``count`` step ops; return False once the session is gone."""
+        nonlocal evicted
+        for _ in range(count):
             for attempt in range(cfg.max_step_retries + 1):
                 try:
                     await _timed(
@@ -246,10 +259,8 @@ async def _session_task(
                         # either way the session is gone mid-life.
                         state.evicted_midlife += 1
                         evicted = True
-                        return
+                        return False
                     raise
-            if evicted:
-                return
             if cfg.stats_fraction and rng.random() < cfg.stats_fraction:
                 try:
                     await _timed(
@@ -259,28 +270,106 @@ async def _session_task(
                     if exc.code in (ErrorCode.UNKNOWN_SESSION, ErrorCode.EVICTED):
                         state.evicted_midlife += 1
                         evicted = True
-                        return
+                        return False
                     raise
             if cfg.think_s > 0:
                 await asyncio.sleep(cfg.think_s)
-    finally:
-        if not evicted:
+        return True
+
+    async def _wait_for_eviction_and_resume() -> str:
+        """Go idle until the reaper checkpoints us, then re-admit.
+
+        Returns ``"resumed"``, ``"gone"`` (evicted without a resumable
+        checkpoint), or ``"live"`` (never evicted within the wait —
+        close normally).  The poll itself rides ``resume_session``: a
+        still-live session answers ``bad_request`` without touching the
+        session's idle clock, so polling never postpones the eviction
+        it is waiting for.
+        """
+        nonlocal evicted
+        deadline = time.perf_counter() + cfg.evict_wait_s
+        while True:
             try:
                 await _timed(
                     recorder,
-                    "close",
-                    client.request("close_session", session=session_id),
+                    "resume",
+                    client.request(
+                        "resume_session", session=session_id, tenant=tenant
+                    ),
                 )
+                state.resumed += 1
+                return "resumed"
             except ServiceError as exc:
+                retriable = exc.code in (
+                    ErrorCode.BAD_REQUEST,  # still live: not evicted yet
+                    ErrorCode.OVERLOADED,  # admission race on re-entry
+                    ErrorCode.AT_CAPACITY,
+                )
+                if retriable and time.perf_counter() < deadline:
+                    await asyncio.sleep(0.2 * rng.uniform(0.5, 1.5))
+                    continue
                 if exc.code == ErrorCode.UNKNOWN_SESSION:
+                    # Evicted but nothing to resume (no --evict-to-disk
+                    # on the server, or the checkpoint was lost).
+                    state.resume_failed += 1
                     state.evicted_midlife += 1
-                else:
-                    _log.warning(
-                        "close_failed", session=session_id, code=exc.code
+                    evicted = True
+                    return "gone"
+                state.resume_failed += 1
+                return "live"
+
+    evict_resume = (
+        cfg.evict_resume_fraction > 0
+        and rng.random() < cfg.evict_resume_fraction
+    )
+    cancelled = False
+    try:
+        if rng.random() < cfg.subscribe_fraction:
+            try:
+                await _timed(
+                    recorder,
+                    "subscribe",
+                    client.request("subscribe", session=session_id, max_queue=32),
+                )
+            except ServiceError:
+                pass  # counted by _timed; session continues unsubscribed
+        steps_before = cfg.steps_per_session
+        steps_after = 0
+        if evict_resume:
+            steps_before = max(1, cfg.steps_per_session // 2)
+            steps_after = cfg.steps_per_session - steps_before
+        if not await _run_steps(steps_before):
+            return
+        if evict_resume:
+            outcome = await _wait_for_eviction_and_resume()
+            if outcome == "gone":
+                return
+            if outcome == "resumed" and steps_after:
+                if not await _run_steps(steps_after):
+                    return
+    except asyncio.CancelledError:
+        cancelled = True
+        raise
+    finally:
+        try:
+            if not evicted and not cancelled:
+                try:
+                    await _timed(
+                        recorder,
+                        "close",
+                        client.request("close_session", session=session_id),
                     )
-            except ConnectionError:
-                pass
-        state.session_finished()
+                except ServiceError as exc:
+                    if exc.code == ErrorCode.UNKNOWN_SESSION:
+                        state.evicted_midlife += 1
+                    else:
+                        _log.warning(
+                            "close_failed", session=session_id, code=exc.code
+                        )
+                except ConnectionError:
+                    pass
+        finally:
+            state.session_finished(completed=not cancelled)
 
 
 async def run_load_test_async(
@@ -321,19 +410,31 @@ async def run_load_test_async(
             await asyncio.sleep(rng.expovariate(cfg.arrival_rate))
         return await asyncio.gather(*tasks, return_exceptions=True)
 
+    timed_out = False
+    server_info = None
+    results: list = []
     try:
-        # asyncio.wait_for, not asyncio.timeout(): the latter is 3.11+
-        # and this package supports 3.10.
-        results = await asyncio.wait_for(_drive(), cfg.timeout_s)
+        try:
+            # asyncio.wait_for, not asyncio.timeout(): the latter is
+            # 3.11+ and this package supports 3.10.
+            results = await asyncio.wait_for(_drive(), cfg.timeout_s)
+        except asyncio.TimeoutError:
+            # A run that blows its wall-clock cap (everything shed, a
+            # wedged server) is a *result*, not a crash: the report
+            # still gets written with whatever ops did complete and
+            # ``timed_out: true`` so the SLO gate can judge it.
+            timed_out = True
+            _log.warning("loadtest_timed_out", timeout_s=cfg.timeout_s)
         for result in results:
             if isinstance(result, BaseException) and not isinstance(
                 result, (ServiceError, ConnectionError)
             ):
                 raise result
-        server_info = None
         try:
-            server_info = await clients[0].request("server_info")
-        except (ServiceError, ConnectionError):
+            server_info = await asyncio.wait_for(
+                clients[0].request("server_info"), 10.0
+            )
+        except (ServiceError, ConnectionError, asyncio.TimeoutError):
             pass
     finally:
         # On timeout, wait_for cancels _drive(); session tasks spawned
@@ -360,6 +461,7 @@ async def run_load_test_async(
         server_info=server_info,
         registry=registry,
     )
+    report["timed_out"] = timed_out
     _log.info(
         "loadtest_done",
         wall_s=round(wall_s, 3),

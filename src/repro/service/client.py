@@ -147,6 +147,22 @@ class ServiceClient:
             params["tenant"] = tenant
         return self.request("create_session", workload=workload, **params)
 
+    def resume_session(self, session: str, tenant: str | None = None) -> dict:
+        """Re-admit a checkpointed (idle-evicted) session.
+
+        Only sessions evicted by a ``--evict-to-disk`` server carry a
+        checkpoint; anything else fails with ``unknown_session``.  The
+        resumed session re-enters through normal admission (capacity
+        and tenant quota), catches back up deterministically to its
+        checkpointed epoch count, and keeps its original session id
+        and seq numbering — ``subscribe(from_seq=...)`` streams
+        gap-free across the eviction.
+        """
+        params = {"session": session}
+        if tenant is not None:
+            params["tenant"] = tenant
+        return self.request("resume_session", **params)
+
     def step(self, session: str, epochs: int = 1) -> dict:
         return self.request("step", session=session, epochs=epochs)
 

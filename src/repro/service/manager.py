@@ -70,6 +70,19 @@ class SessionManager:
         self.tenant_quota = None if tenant_quota is None else int(tenant_quota)
         self.idle_ttl_s = float(idle_ttl_s)
         self.session_factory = session_factory
+        #: Optional ``checkpointer(session) -> dict | None`` hook the
+        #: server installs for ``--evict-to-disk``: called by
+        #: :meth:`evict_idle` after the eviction claim but *before* the
+        #: goodbye fan-out and slot release, so the goodbye can carry
+        #: ``resumable: true`` only when the checkpoint actually
+        #: persisted.  Returning None (or raising) degrades to the
+        #: historical discard-on-evict behavior for that session.
+        self.checkpointer = None
+        #: Lifetime counters surfaced through ``server_info`` so an
+        #: external harness (the CI eviction/resume soak) can assert
+        #: checkpointed == resumed without scraping metrics.
+        self.sessions_checkpointed = 0
+        self.sessions_resumed = 0
         self._clock = clock
         self._lock = threading.Lock()
         self._sessions: dict[str, ProfilingSession] = {}
@@ -113,46 +126,46 @@ class SessionManager:
                 counts[tenant] = counts.get(tenant, 0) + 1
             return counts
 
-    def create(self, **params) -> ProfilingSession:
-        """Admit and build one session.
+    def _admit_locked(self, tenant: str) -> int:
+        """Reserve one capacity + tenant slot, or raise (lock held).
 
-        Raises ``at_capacity`` when the server-wide limit is reached
-        and ``overloaded`` when the requesting tenant (the ``tenant``
-        param, default ``"default"``) is at its quota.  The capacity
-        slot is reserved under the lock but the (slow) session
-        construction happens outside it, so concurrent creates neither
-        oversubscribe nor serialize.
+        Returns the drain generation observed *atomically* with the
+        reservation, so a ``close_all`` landing any time after it is
+        detected at insert.
         """
-        tenant = params.get("tenant", "default")
-        if not isinstance(tenant, str) or not tenant:
+        if len(self._sessions) + self._reserved >= self.max_sessions:
+            _reject("at_capacity")
             raise ServiceError(
-                ErrorCode.BAD_PARAMS, "tenant must be a non-empty string"
+                ErrorCode.AT_CAPACITY,
+                f"session limit reached ({self.max_sessions})",
             )
-        with self._lock:
-            if len(self._sessions) + self._reserved >= self.max_sessions:
-                _reject("at_capacity")
-                raise ServiceError(
-                    ErrorCode.AT_CAPACITY,
-                    f"session limit reached ({self.max_sessions})",
-                )
-            if (
-                self.tenant_quota is not None
-                and self._tenant_count.get(tenant, 0) >= self.tenant_quota
-            ):
-                _reject("tenant_quota")
-                raise ServiceError(
-                    ErrorCode.OVERLOADED,
-                    f"tenant {tenant!r} is at its session quota "
-                    f"({self.tenant_quota}); close a session or retry later",
-                )
-            self._reserved += 1
-            self._tenant_count[tenant] = self._tenant_count.get(tenant, 0) + 1
-            self._next_id += 1
-            session_id = f"s{self._next_id}"
-            drain_gen = self._drain_gen
+        if (
+            self.tenant_quota is not None
+            and self._tenant_count.get(tenant, 0) >= self.tenant_quota
+        ):
+            _reject("tenant_quota")
+            raise ServiceError(
+                ErrorCode.OVERLOADED,
+                f"tenant {tenant!r} is at its session quota "
+                f"({self.tenant_quota}); close a session or retry later",
+            )
+        self._reserved += 1
+        self._tenant_count[tenant] = self._tenant_count.get(tenant, 0) + 1
+        return self._drain_gen
+
+    def _build_admitted(self, session_id: str, tenant: str, drain_gen: int, builder):
+        """Build outside the lock, then install under it (shared by
+        :meth:`create` and :meth:`resume`).
+
+        The capacity slot is reserved before ``builder`` runs and
+        released on failure; a drain that lands mid-construction is
+        detected by the generation bump and the session is rejected at
+        insert (closing it and releasing its slots) instead of slipping
+        a live session past the drain.
+        """
         admitted = False
         try:
-            session = self.session_factory(session_id, clock=self._clock, **params)
+            session = builder()
             admitted = True
         except TypeError as exc:
             raise ServiceError(ErrorCode.BAD_PARAMS, str(exc)) from exc
@@ -182,6 +195,33 @@ class SessionManager:
                 ErrorCode.SERVER_DRAIN,
                 f"server drained while session {session_id} was being built",
             )
+        return session
+
+    def create(self, **params) -> ProfilingSession:
+        """Admit and build one session.
+
+        Raises ``at_capacity`` when the server-wide limit is reached
+        and ``overloaded`` when the requesting tenant (the ``tenant``
+        param, default ``"default"``) is at its quota.  The capacity
+        slot is reserved under the lock but the (slow) session
+        construction happens outside it, so concurrent creates neither
+        oversubscribe nor serialize.
+        """
+        tenant = params.get("tenant", "default")
+        if not isinstance(tenant, str) or not tenant:
+            raise ServiceError(
+                ErrorCode.BAD_PARAMS, "tenant must be a non-empty string"
+            )
+        with self._lock:
+            drain_gen = self._admit_locked(tenant)
+            self._next_id += 1
+            session_id = f"s{self._next_id}"
+        session = self._build_admitted(
+            session_id,
+            tenant,
+            drain_gen,
+            lambda: self.session_factory(session_id, clock=self._clock, **params),
+        )
         _metrics().counter(
             "repro_service_sessions_created_total", "Sessions admitted and built"
         ).inc()
@@ -192,6 +232,40 @@ class SessionManager:
             workload=params.get("workload"),
             worker=getattr(getattr(session, "worker", None), "index", None),
         )
+        return session
+
+    def resume(self, session_id: str, tenant: str, builder) -> ProfilingSession:
+        """Re-admit a checkpointed (evicted-to-disk) session.
+
+        Goes through the *same* admission gate as :meth:`create` — the
+        global capacity check and the tenant quota both apply, so a
+        resume cannot sneak past the limits its eviction freed up —
+        but keeps the original ``session_id`` (the ledger's seq chain
+        continues) instead of minting a new one.  ``builder`` rebuilds
+        the session outside the lock (worker rebuild + deterministic
+        catch-up is slow); a still-live id is rejected with
+        ``bad_request`` before any slot is reserved.
+        """
+        if not isinstance(tenant, str) or not tenant:
+            raise ServiceError(
+                ErrorCode.BAD_PARAMS, "tenant must be a non-empty string"
+            )
+        with self._lock:
+            if session_id in self._sessions:
+                raise ServiceError(
+                    ErrorCode.BAD_REQUEST,
+                    f"session {session_id!r} is still live; only evicted "
+                    "(checkpointed) sessions can be resumed",
+                )
+            drain_gen = self._admit_locked(tenant)
+        session = self._build_admitted(session_id, tenant, drain_gen, builder)
+        with self._lock:
+            self.sessions_resumed += 1
+        _metrics().counter(
+            "repro_service_sessions_resumed_total",
+            "Checkpointed sessions re-admitted via resume_session",
+        ).inc()
+        _log.info("session_resumed", session=session_id, tenant=tenant)
         return session
 
     def get(self, session_id) -> ProfilingSession:
@@ -288,6 +362,17 @@ class SessionManager:
         in-flight op first — the claim fails, the session survives — or
         fails ``begin_op`` with a structured ``evicted`` error; it can
         never run against the closed simulator.
+
+        Ordering is load-bearing: the session is claimed, then (when a
+        :attr:`checkpointer` is installed) checkpointed, then the
+        structured goodbye fans out *while the session is still
+        registered*, and only then is it popped from the registry and
+        its slots released.  A concurrent ``subscribe`` therefore
+        either attaches before the goodbye (and receives it — the
+        fan-out and the attach share the subscriber lock), is refused
+        with a structured ``evicted`` error (the claim set the flag),
+        or arrives after the pop and gets ``unknown_session`` — it can
+        never attach silently to a half-dead session.
         """
         if self.idle_ttl_s <= 0:
             return []
@@ -298,22 +383,46 @@ class SessionManager:
                 for sid, s in list(self._sessions.items())
                 if s.try_mark_evicting(now, self.idle_ttl_s)
             ]
-            for sid, session in evicted:
-                self._sessions.pop(sid)
-                self._release_tenant_locked(session.tenant)
-            if evicted:
-                self._publish_active_locked()
+        checkpointed = 0
         for sid, session in evicted:
-            # Structured goodbye before discard: consumers can tell an
-            # idle-TTL eviction from a network failure.
+            # Checkpoint (best-effort) before the goodbye so the frame
+            # can truthfully promise resumability; the marker records
+            # the epoch count *before* the goodbye record appends, and
+            # the goodbye itself lands in the ledger as the last frame
+            # of this session life.
+            resumable = None
+            if self.checkpointer is not None:
+                try:
+                    resumable = self.checkpointer(session) is not None
+                except Exception:  # noqa: BLE001 — degrade to plain evict
+                    _log.warning("session_checkpoint_failed", session=sid)
+                    resumable = False
+                if resumable:
+                    checkpointed += 1
+            # Structured goodbye *before* the registry pop: consumers
+            # can tell an idle-TTL eviction from a network failure, and
+            # every subscriber attached at this instant is guaranteed
+            # to receive it.
             session._fanout(
                 "error",
                 crash_event_data(
                     ErrorCode.EVICTED,
                     f"session {sid} evicted after idling longer than "
                     f"{self.idle_ttl_s:g}s",
+                    resumable=resumable,
                 ),
             )
+        if evicted:
+            with self._lock:
+                for sid, session in evicted:
+                    # A drain (close_all) may have popped the session
+                    # in the window since the claim; it released the
+                    # tenant slot then, so only release on a real pop.
+                    if self._sessions.pop(sid, None) is not None:
+                        self._release_tenant_locked(session.tenant)
+                self.sessions_checkpointed += checkpointed
+                self._publish_active_locked()
+        for sid, session in evicted:
             session.close()
             _log.info("session_evicted", session=sid, idle_ttl_s=self.idle_ttl_s)
         if evicted:
@@ -321,6 +430,11 @@ class SessionManager:
                 "repro_service_sessions_evicted_total",
                 "Sessions evicted by the idle TTL",
             ).inc(len(evicted))
+        if checkpointed:
+            _metrics().counter(
+                "repro_service_sessions_checkpointed_total",
+                "Evicted sessions checkpointed to the ledger (resumable)",
+            ).inc(checkpointed)
         return [sid for sid, _ in evicted]
 
     def list_sessions(self) -> list[dict]:

@@ -40,6 +40,8 @@ from ..obs import log as obs_log
 from ..obs import metrics as obs_metrics
 from ..obs.http import MetricsHTTPServer
 from .manager import SessionManager
+from .session import ProfilingSession
+from .telemetry import resumed_event_data
 from .protocol import (
     MAX_LINE_BYTES,
     ErrorCode,
@@ -135,6 +137,7 @@ class ServiceServer:
         ledger_segment_bytes: int | None = None,
         ledger_retention_bytes: int | None = None,
         ledger_retention_age_s: float | None = None,
+        evict_to_disk: bool = False,
     ):
         self.manager = manager or SessionManager(
             max_sessions=max_sessions,
@@ -177,6 +180,11 @@ class ServiceServer:
                 retention_age_s=ledger_retention_age_s,
                 **ledger_kwargs,
             )
+        #: Checkpoint-to-disk idle eviction (``--evict-to-disk``): the
+        #: reaper persists a checkpoint marker before releasing an idle
+        #: session's slots, so a later ``resume_session`` re-admits it
+        #: bit-identically.  Needs a ledger; silently inert without one.
+        self.evict_to_disk = bool(evict_to_disk)
         self.address: tuple[str, int] | str | None = None
         self._server: asyncio.AbstractServer | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -199,6 +207,7 @@ class ServiceServer:
             "subscribe": self._op_subscribe,
             "unsubscribe": self._op_unsubscribe,
             "close_session": self._op_close_session,
+            "resume_session": self._op_resume_session,
             "metrics": self._op_metrics,
         }
 
@@ -234,6 +243,8 @@ class ServiceServer:
                 return session
 
             self.manager.session_factory = _ledgered_factory
+            if self.evict_to_disk:
+                self.manager.checkpointer = self._checkpoint_session
         self._executor = ThreadPoolExecutor(
             max_workers=step_threads,
             thread_name_prefix="repro-service-step",
@@ -387,6 +398,133 @@ class ServiceServer:
             )
             self.manager.discard(session_id)
 
+    # ----------------------------------------------------- checkpoint/resume
+
+    def _checkpoint_session(self, session) -> dict | None:
+        """``manager.checkpointer`` hook: persist the eviction marker.
+
+        Runs on the reaper's executor thread after the eviction claim
+        and before the goodbye fan-out, so the recorded epoch count is
+        exact (no step can land — ``begin_op`` refuses once claimed)
+        and the goodbye can truthfully carry ``resumable: true``.  The
+        config itself is already durable in the session ledger's
+        ``meta.json``; the marker only pins the eviction moment.
+        """
+        if session.ledger is None or self._ledger is None:
+            return None
+        meta = self._ledger.load_meta(session.session_id)
+        if meta is None:
+            return None
+        marker = self._ledger.write_checkpoint(
+            session.session_id,
+            {
+                "config_key": meta.get("config_key"),
+                "epochs": session.ledger.epoch_count,
+                "frame_seq": session.frame_seq,
+                "tenant": session.tenant,
+            },
+        )
+        _log.info(
+            "session_checkpointed",
+            session=session.session_id,
+            epochs=marker.get("epochs"),
+        )
+        return marker
+
+    def _resume_session_blocking(self, session_id, tenant_param):
+        """Re-admit one checkpointed session (executor thread).
+
+        Admission goes through :meth:`SessionManager.resume` — the
+        same capacity/tenant gate as ``create_session`` — and the
+        rebuild reuses the PR-6 recovery machinery: the recorded
+        config re-runs deterministically with a silent catch-up to the
+        checkpointed epoch count, so the resumed state is bit-identical
+        to an uninterrupted run.  The reopened ledger continues the
+        seq chain (``attach_ledger(start_seq=next_seq)``), the marker
+        is cleared, and one ``resumed`` frame is appended so a
+        ``from_seq`` replay shows eviction and resumption gap-free.
+        """
+        try:
+            self.manager.get(session_id)
+        except ServiceError:
+            pass
+        else:
+            # Checked again (atomically) inside manager.resume; this
+            # early answer just gives pollers the ``bad_request`` that
+            # means "not evicted yet" instead of "no checkpoint".
+            raise ServiceError(
+                ErrorCode.BAD_REQUEST,
+                f"session {session_id!r} is still live; only evicted "
+                "(checkpointed) sessions can be resumed",
+            )
+        checkpoint = self._ledger.load_checkpoint(session_id)
+        meta = self._ledger.load_meta(session_id)
+        if checkpoint is None or meta is None:
+            raise ServiceError(
+                ErrorCode.UNKNOWN_SESSION,
+                f"no checkpoint for session {session_id!r}; only sessions "
+                "evicted with --evict-to-disk can be resumed",
+            )
+        tenant = tenant_param or checkpoint.get("tenant") or "default"
+        params = dict(meta["config"])
+        params["tenant"] = tenant
+
+        def builder():
+            session_ledger = self._ledger.open_session(session_id)
+            try:
+                epochs = int(checkpoint.get("epochs", session_ledger.epoch_count))
+                if self._pool is not None:
+                    session = self._pool.resume_session_factory(
+                        session_id,
+                        params,
+                        epochs,
+                        clock=self.manager._clock,
+                        tenant=tenant,
+                    )
+                else:
+                    session = ProfilingSession(
+                        session_id,
+                        clock=self.manager._clock,
+                        catchup_epochs=epochs,
+                        **params,
+                    )
+                session.attach_ledger(
+                    session_ledger, start_seq=session_ledger.next_seq
+                )
+                self._ledger.clear_checkpoint(session_id)
+                session._fanout(
+                    "resumed",
+                    resumed_event_data(
+                        epochs,
+                        f"session {session_id} resumed from checkpoint "
+                        f"({epochs} epochs caught up)",
+                        worker=getattr(
+                            getattr(session, "worker", None), "index", None
+                        ),
+                    ),
+                )
+                return session
+            except Exception:
+                session_ledger.close()
+                raise
+
+        session = self.manager.resume(session_id, tenant, builder)
+        return session.info()
+
+    async def _op_resume_session(self, conn, params) -> dict:
+        if self._draining:
+            raise ServiceError(ErrorCode.SHUTTING_DOWN, "server is draining")
+        if self._ledger is None:
+            raise ServiceError(
+                ErrorCode.BAD_PARAMS,
+                "resume_session needs a ledger; start the server with "
+                "--ledger-dir and --evict-to-disk",
+            )
+        session_id = self._session_id(params)
+        return await self._run_blocking(
+            self._resume_session_blocking, session_id, params.get("tenant")
+        )
+
     # ----------------------------------------------------------- connections
 
     async def _handle_connection(self, reader, writer) -> None:
@@ -488,6 +626,9 @@ class ServiceServer:
             "draining": self._draining,
             "address": list(address) if isinstance(address, tuple) else address,
             "workers": self.workers,
+            "evict_to_disk": bool(self._ledger is not None and self.evict_to_disk),
+            "sessions_checkpointed": self.manager.sessions_checkpointed,
+            "sessions_resumed": self.manager.sessions_resumed,
         }
         if self._pool is not None:
             info["worker_pool"] = self._pool.info()
@@ -507,6 +648,17 @@ class ServiceServer:
     async def _op_create_session(self, conn, params) -> dict:
         if self._draining:
             raise ServiceError(ErrorCode.SHUTTING_DOWN, "server is draining")
+        resume = params.get("resume")
+        if resume is not None:
+            # ``create_session`` with ``resume=<id>`` is sugar for
+            # ``resume_session``: same admission gate, same rebuild.
+            if not isinstance(resume, str):
+                raise ServiceError(
+                    ErrorCode.BAD_PARAMS, "resume must be a session id string"
+                )
+            return await self._op_resume_session(
+                conn, {"session": resume, "tenant": params.get("tenant")}
+            )
         session = await self._run_blocking(self.manager.create, **params)
         return session.info()
 
@@ -606,7 +758,7 @@ class ServiceServer:
             # the fan-out's critical section, so the disk→queue handoff
             # is gap-free and exactly-once: replay stops precisely where
             # the queue begins.
-            replayed = await self._replay(
+            replayed, initial_dropped = await self._replay(
                 conn, session, sub, from_seq, live_start, initial_dropped
             )
         task = asyncio.create_task(self._pump(conn, session, sub, wake))
@@ -632,8 +784,18 @@ class ServiceServer:
 
     async def _replay(
         self, conn, session, sub, from_seq, end_seq, dropped
-    ) -> int:
-        """Stream ledger records ``[from_seq, end_seq)`` to ``conn``."""
+    ) -> tuple[int, int]:
+        """Stream ledger records ``[from_seq, end_seq)`` to ``conn``.
+
+        Returns ``(replayed, dropped)`` where ``dropped`` is the final
+        cumulative drop count.  Retention compaction can race this
+        replay and remove segments out from under ``read_encoded`` —
+        mid-batch (a compacted segment yields nothing and the reader
+        skips to the next one) as well as between batches — so every
+        missing seq is accounted per record: any jump past the cursor
+        raises the subscriber's cumulative ``dropped`` (mirrored into
+        already-queued live frames) instead of leaking a silent gap.
+        """
         ledger = session.ledger
         replayed = 0
         cursor = from_seq
@@ -650,9 +812,20 @@ class ServiceServer:
                 )
             )
             if not batch:
+                # The whole remaining window was compacted away:
+                # account it, then fall through to the live queue.
+                gap = end_seq - cursor
+                dropped += gap
+                session.account_replay_gap(sub, gap)
+                cursor = end_seq
                 break
-            await conn.send_many(
-                [
+            frames = []
+            for seq, event, payload in batch:
+                if seq > cursor:
+                    gap = seq - cursor
+                    dropped += gap
+                    session.account_replay_gap(sub, gap)
+                frames.append(
                     splice_event_frame(
                         event,
                         session.session_id,
@@ -661,16 +834,15 @@ class ServiceServer:
                         dropped,
                         payload,
                     )
-                    for seq, event, payload in batch
-                ]
-            )
-            replayed += len(batch)
-            cursor = batch[-1][0] + 1
+                )
+                cursor = seq + 1
+            await conn.send_many(frames)
+            replayed += len(frames)
         obs_metrics.default_registry().counter(
             "repro_ledger_replay_frames_total",
             "Frames replayed from session ledgers to subscribers",
         ).inc(replayed)
-        return replayed
+        return replayed, dropped
 
     async def _op_unsubscribe(self, conn, params) -> dict:
         sub_id = params.get("subscription")

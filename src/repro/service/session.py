@@ -232,6 +232,23 @@ class SubscriberQueue:
         self._frames.append(frame)
         return frame
 
+    def add_dropped(self, n: int) -> None:
+        """Account ``n`` frames lost *outside* the queue (replay gaps).
+
+        The ledger-replay path calls this when retention compaction
+        removed records mid-replay: the cumulative ``dropped`` counter
+        advances and every frame still buffered is retro-adjusted, so a
+        consumer's loss arithmetic (``seq`` gap == ``dropped`` delta)
+        stays exact across the replayed/live splice.  Safe only while
+        the frames have not been drained yet — the server calls it
+        before the subscription's pump starts.
+        """
+        if n <= 0:
+            return
+        self.dropped += int(n)
+        for frame in self._frames:
+            frame.dropped += int(n)
+
     def drain(self) -> list[QueuedFrame]:
         """Remove and return every buffered frame (oldest first)."""
         out = list(self._frames)
@@ -372,7 +389,7 @@ class SessionBase:
         """
         self._encoded_sinks.append(sink)
 
-    def attach_ledger(self, session_ledger) -> None:
+    def attach_ledger(self, session_ledger, start_seq: int | None = None) -> None:
         """Durably record every fan-out frame in ``session_ledger``.
 
         The append happens inside the fan-out's subscriber-lock
@@ -381,8 +398,16 @@ class SessionBase:
         ledger — the invariant ``subscribe(from_seq=...)`` replay
         relies on.  A failing append (disk full, closed ledger) is
         logged via the obs counter but never stalls stepping.
+
+        ``start_seq`` (the resume path) fast-forwards the session's
+        frame counter to the reopened ledger's ``next_seq``, so frames
+        fanned out after a checkpoint re-admission continue the
+        pre-eviction numbering instead of restarting at 0.
         """
-        self.ledger = session_ledger
+        with self._sub_lock:
+            self.ledger = session_ledger
+            if start_seq is not None:
+                self._frame_seq = int(start_seq)
 
     def _fanout(self, event: str, data: dict) -> None:
         """Push one frame to every subscriber queue, ledger, and sink."""
@@ -454,8 +479,30 @@ class SessionBase:
         frame count: earlier frames are never re-delivered live (the
         ledger replay path serves those), so the numbering is shared
         by every subscriber and by the on-disk records.
+
+        A closed or eviction-claimed session refuses new subscribers
+        with a structured error: once the reaper owns the session its
+        goodbye fan-out has (or is about to) run, so a late subscriber
+        attaching here would receive neither the goodbye nor any
+        further frame — a silent half-dead subscription.  The refusal
+        is checked under ``_sub_lock``, the same lock the goodbye
+        fan-out holds, so every subscriber that *does* attach is
+        guaranteed to be in the table when the goodbye frames push.
         """
         with self._sub_lock:
+            # A crashed-awaiting-recovery session (``crashed`` set) is
+            # still subscribable: its subscribers are owed the
+            # ``recovered`` frame when the ledger re-materializes it.
+            if self.closed and getattr(self, "crashed", None) is None:
+                raise ServiceError(
+                    ErrorCode.UNKNOWN_SESSION,
+                    f"session {self.session_id} is closed",
+                )
+            if self._evicting:
+                raise ServiceError(
+                    ErrorCode.EVICTED,
+                    f"session {self.session_id} is being evicted",
+                )
             self._next_sub += 1
             sub = SubscriberQueue(
                 f"{self.session_id}.sub{self._next_sub}",
@@ -474,6 +521,15 @@ class SessionBase:
         """Frames fanned out so far (== the next frame's seq)."""
         with self._sub_lock:
             return self._frame_seq
+
+    def account_replay_gap(self, sub: SubscriberQueue, n: int) -> None:
+        """Charge ``n`` retention-lost frames to one subscriber.
+
+        Taken under ``_sub_lock`` so the retro-adjustment of buffered
+        live frames cannot interleave with a concurrent fan-out push.
+        """
+        with self._sub_lock:
+            sub.add_dropped(n)
 
     def unsubscribe(self, subscription_id: str) -> bool:
         with self._sub_lock:
@@ -521,6 +577,7 @@ class ProfilingSession(SessionBase):
         tmp: dict | None = None,
         tenant: str = "default",
         clock=time.monotonic,
+        catchup_epochs: int = 0,
     ):
         if workload not in WORKLOAD_NAMES:
             raise ServiceError(
@@ -557,8 +614,16 @@ class ProfilingSession(SessionBase):
         self.sim.obs_label = session_id
         self.daemon = TMPDaemon(self.sim.profiler)
         self.daemon.add_workload(wl)
-        self.sim.add_epoch_hook(self._on_epoch)
         self.sim.start(init=init)
+        if catchup_epochs > 0:
+            # Checkpoint-resume catch-up: silently re-run the epochs the
+            # evicted session had already scored *before* attaching the
+            # fan-out hook, so subscribers (and the ledger) never see
+            # them twice.  The simulator is deterministic, so the state
+            # after the catch-up is bit-identical to the pre-eviction
+            # state.
+            self.sim.step(int(catchup_epochs))
+        self.sim.add_epoch_hook(self._on_epoch)
 
     # ------------------------------------------------------------- lifecycle
 

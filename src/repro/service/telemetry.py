@@ -28,6 +28,7 @@ __all__ = [
     "epoch_metrics_from_dict",
     "epoch_metrics_to_dict",
     "recovered_event_data",
+    "resumed_event_data",
     "simulation_result_to_dict",
 ]
 
@@ -37,7 +38,12 @@ __all__ = [
 MAX_EPOCHS_PER_RESPONSE = 4096
 
 
-def crash_event_data(code: str, message: str, worker: int | None = None) -> dict:
+def crash_event_data(
+    code: str,
+    message: str,
+    worker: int | None = None,
+    resumable: bool | None = None,
+) -> dict:
     """Payload of the structured ``error`` frame a lost session pushes.
 
     Delivered through the same :class:`SubscriberQueue` path as epoch
@@ -47,10 +53,17 @@ def crash_event_data(code: str, message: str, worker: int | None = None) -> dict
     (``code="evicted"``) and server drain (``code="server_drain"``) so
     a consumer can distinguish every deliberate discard from a network
     failure.
+
+    ``resumable`` (eviction goodbyes only) tells the consumer whether
+    the session state was checkpointed to the ledger before the slots
+    were released — ``true`` means a later ``resume_session`` with the
+    same session id re-materializes it bit-identically.
     """
     data = {"code": code, "message": message}
     if worker is not None:
         data["worker"] = int(worker)
+    if resumable is not None:
+        data["resumable"] = bool(resumable)
     return data
 
 
@@ -68,6 +81,26 @@ def recovered_event_data(
         "epochs_replayed": int(epochs_replayed),
         "message": message,
     }
+
+
+def resumed_event_data(
+    epochs_resumed: int, message: str, worker: int | None = None
+) -> dict:
+    """Payload of the ``resumed`` frame after a checkpoint re-admission.
+
+    The voluntary-eviction sibling of :func:`recovered_event_data`:
+    pushed (and ledger-appended) once a checkpointed session has been
+    re-built and silently caught back up to ``epochs_resumed`` scored
+    epochs, so a ``subscribe(from_seq=...)`` stream shows checkpoint,
+    ``evicted`` goodbye, and resumption as one gap-free seq sequence.
+    """
+    data = {
+        "epochs_resumed": int(epochs_resumed),
+        "message": message,
+    }
+    if worker is not None:
+        data["worker"] = int(worker)
+    return data
 
 
 def epoch_metrics_to_dict(m: EpochMetrics) -> dict:

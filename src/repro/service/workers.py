@@ -418,6 +418,13 @@ class RemoteSession(SessionBase):
         self.pool = pool
         self.worker = worker
         self.crashed: str | None = None
+        #: Set (never cleared) by :meth:`close`: distinguishes a
+        #: deliberately closed/evicted session from one merely marked
+        #: crashed — both have ``closed=True``, but only a crashed one
+        #: may be resurrected by the ledger-recovery path.  Guards the
+        #: close-races-recovery window: see
+        #: :meth:`WorkerPool.recover_session`.
+        self._discarded = False
         self._static_info: dict = {}
         self._epochs_run = 0
 
@@ -530,6 +537,7 @@ class RemoteSession(SessionBase):
             "epochs_from": epochs_from,
             "epochs_to": epochs_to,
         }
+        self._discarded = True
         if self.crashed is not None:
             summary = {"session": self.session_id, "crashed": self.crashed}
         else:
@@ -639,6 +647,44 @@ class WorkerPool:
             self._sessions.pop(session.session_id, None)
             session.worker.sessions.discard(session.session_id)
 
+    def resume_session_factory(
+        self,
+        session_id: str,
+        params: dict,
+        epochs: int,
+        clock=time.monotonic,
+        tenant: str = "default",
+    ) -> RemoteSession:
+        """Rebuild a checkpointed (evicted-to-disk) session.
+
+        The voluntary-eviction sibling of :meth:`recover_session`: a
+        *fresh* :class:`RemoteSession` facade is built (the evicted
+        one was popped from the manager and closed), pinned to the
+        least-loaded worker, and the worker re-runs the recorded
+        config with a silent ``epochs``-deep catch-up — the same
+        deterministic ``recover`` worker op the crash path uses, so
+        the resumed state is bit-identical to the uninterrupted run.
+        """
+        with self._lock:
+            worker = min(
+                self.workers, key=lambda w: (len(w.sessions), w.index)
+            )
+            session = RemoteSession(
+                session_id, self, worker, clock=clock, tenant=tenant
+            )
+            worker.sessions.add(session_id)
+            self._sessions[session_id] = session
+        try:
+            info = worker.request("recover", (session_id, params, epochs))
+        except ServiceError:
+            self.release(session)
+            raise
+        session._static_info = {
+            k: v for k, v in info.items() if k not in ("idle_s", "subscribers")
+        }
+        session._epochs_run = info.get("epochs_run", epochs)
+        return session
+
     def recover_session(
         self,
         session: RemoteSession,
@@ -656,9 +702,24 @@ class WorkerPool:
         live epochs.  Raises :class:`ServiceError` when no worker
         comes up or the rebuild fails; the caller then discards the
         session as before.
+
+        A close/evict racing the recovery is honored, not resurrected:
+        ``RemoteSession.close`` marks the session discarded, and the
+        recovery aborts — before the rebuild when it can, and by
+        closing the freshly rebuilt worker-side copy when the close
+        landed mid-rebuild — so a closed session can never come back
+        as an unmanaged zombie still pinned to a worker (and its
+        tenant slot, already released by the close, is never held
+        again by a session the manager no longer knows).
         """
         deadline = time.monotonic() + wait_s
         while True:
+            if session._discarded:
+                raise ServiceError(
+                    ErrorCode.UNKNOWN_SESSION,
+                    f"session {session.session_id} was closed before "
+                    "recovery could run",
+                )
             with self._lock:
                 alive = [
                     w
@@ -685,6 +746,23 @@ class WorkerPool:
         except ServiceError:
             self.release(session)
             raise
+        if session._discarded:
+            # close() landed while the worker was rebuilding: drop the
+            # rebuilt copy instead of resurrecting a session nothing
+            # manages anymore.
+            try:
+                worker.request(
+                    "close",
+                    (session.session_id, {}),
+                    timeout_s=DEFAULT_JOIN_TIMEOUT_S,
+                )
+            except ServiceError:
+                pass
+            self.release(session)
+            raise ServiceError(
+                ErrorCode.UNKNOWN_SESSION,
+                f"session {session.session_id} was closed during recovery",
+            )
         session._static_info = {
             k: v for k, v in info.items() if k not in ("idle_s", "subscribers")
         }

@@ -55,6 +55,33 @@ class TestSessions:
         with pytest.raises(FileNotFoundError):
             Ledger(tmp_path).open_session("nope")
 
+    def test_checkpoint_roundtrip_and_clear(self, tmp_path):
+        root = Ledger(tmp_path)
+        sl = root.create_session("s1", {"workload": "gups", "seed": 1})
+        sl.append("epoch", {"epoch": 0})
+        sl.close()
+        marker = root.write_checkpoint(
+            "s1", {"config_key": "abc", "epochs": 1, "tenant": "acme"}
+        )
+        assert marker["session"] == "s1"
+        loaded = root.load_checkpoint("s1")
+        assert loaded["epochs"] == 1
+        assert loaded["tenant"] == "acme"
+        assert json.loads(root.checkpoint_path("s1").read_text()) == loaded
+        assert root.clear_checkpoint("s1") is True
+        assert root.load_checkpoint("s1") is None
+        assert root.clear_checkpoint("s1") is False  # already gone
+
+    def test_checkpoint_needs_session_dir(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            Ledger(tmp_path).write_checkpoint("ghost", {"epochs": 0})
+
+    def test_checkpoint_corrupt_is_none(self, tmp_path):
+        root = Ledger(tmp_path)
+        root.create_session("s1", {"workload": "gups"}).close()
+        root.checkpoint_path("s1").write_text("{not json")
+        assert root.load_checkpoint("s1") is None
+
     def test_load_meta_corrupt_is_none(self, tmp_path):
         root = Ledger(tmp_path)
         sl = root.create_session("s1", {"workload": "gups"})

@@ -139,8 +139,10 @@ class TestRunLoadTest:
     def test_timeout_reaps_in_flight_sessions(self):
         # The wall-clock cap (asyncio.wait_for — available on 3.10,
         # unlike asyncio.timeout) fires while every session is
-        # mid-think: the run raises TimeoutError promptly and cancels
-        # the spawned session tasks instead of leaking them.
+        # mid-think: the run cancels the spawned session tasks instead
+        # of leaking them, and still returns a valid report flagged
+        # ``timed_out`` rather than raising (a blown deadline is a
+        # result, not a crash).
         cfg = small_config(
             sessions=4,
             arrival_rate=1000.0,
@@ -152,8 +154,81 @@ class TestRunLoadTest:
         with ServerThread(
             port=0, workers=0, max_sessions=cfg.sessions, reap_interval_s=0
         ) as srv:
-            with pytest.raises(asyncio.TimeoutError):
-                run_load_test(srv.address, cfg)
+            report = run_load_test(srv.address, cfg)
+        assert report["timed_out"] is True
+        assert report["sessions"]["completed"] == 0
+        # No session finished a step, yet the report is still a valid,
+        # writable document with a clean (unjudged) SLO verdict.
+        assert report["slo"]["ok"] is None
+
+    def test_zero_completed_ops_still_writes_report_and_judges_slo(
+        self, tmp_path
+    ):
+        # Every session's first (and only) step outlives the deadline
+        # (~1500 epochs at a few ms each vs a 1 s budget): zero steps
+        # complete, yet the run emits valid BENCH_load.json and the SLO
+        # gate fails cleanly (no latency promise was met) instead of
+        # raising on empty percentiles.
+        cfg = small_config(
+            sessions=3,
+            arrival_rate=1000.0,
+            steps_per_session=1,
+            epochs_per_step=1500,
+            subscribe_fraction=0.0,
+            stats_fraction=0.0,
+            timeout_s=1.0,
+        )
+        with ServerThread(
+            port=0, workers=0, max_sessions=cfg.sessions, reap_interval_s=0
+        ) as srv:
+            report = run_load_test(srv.address, cfg, slo_step_p99_s=0.5)
+        assert report["timed_out"] is True
+        assert report["slo"] == {
+            "step_p99_s": None,
+            "threshold_s": 0.5,
+            "ok": False,
+        }
+        assert report["sessions"]["completed"] == 0
+        assert report["sessions"]["cancelled"] == 3
+        out = tmp_path / "BENCH_load.json"
+        write_report(out, report)
+        assert json.loads(out.read_text())["slo"]["ok"] is False
+
+    def test_evict_resume_lifecycle_mix(self, tmp_path):
+        # Checkpoint/resume soak in miniature: every session runs half
+        # its steps, idles past the TTL, is checkpointed to disk by the
+        # reaper, resumes through normal admission, and finishes.
+        cfg = small_config(
+            sessions=3,
+            arrival_rate=50.0,
+            steps_per_session=2,
+            subscribe_fraction=0.0,
+            stats_fraction=0.0,
+            evict_resume_fraction=1.0,
+            evict_wait_s=30.0,
+        )
+        with ServerThread(
+            port=0,
+            workers=0,
+            max_sessions=cfg.sessions,
+            idle_ttl_s=0.6,
+            reap_interval_s=0.05,
+            ledger_dir=str(tmp_path),
+            evict_to_disk=True,
+        ) as srv:
+            report = run_load_test(srv.address, cfg)
+        sessions = report["sessions"]
+        assert sessions["completed"] == 3
+        assert sessions["resumed"] == 3
+        assert sessions["resume_failed"] == 0
+        # Server-side lifetime counters agree: every checkpointed
+        # session came back (what the CI soak asserts).
+        assert report["server"]["sessions_checkpointed"] >= 3
+        assert (
+            report["server"]["sessions_resumed"]
+            == report["server"]["sessions_checkpointed"]
+        )
+        assert report["ops"]["resume"]["count"] == 3
 
     def test_config_validation(self):
         with pytest.raises(ValueError):

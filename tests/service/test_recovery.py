@@ -11,8 +11,13 @@ stay continuous across the whole ordeal.
 import asyncio
 import os
 import signal
+import threading
+import time
 
-from repro.service import ServiceServer
+import pytest
+
+from repro.service import ServiceError, ServiceServer, WorkerPool
+from repro.service.protocol import ErrorCode
 from repro.service.session import ProfilingSession
 from repro.service.telemetry import epoch_metrics_to_dict
 
@@ -150,3 +155,161 @@ class TestLedgerRecovery:
                 await server.drain()
 
         run_async(main())
+
+
+class TestRecoveryTenantAccounting:
+    """Exactly one tenant-quota slot across SIGKILL → recover → close."""
+
+    def test_tenant_quota_one_holds_through_crash_recovery(self, tmp_path):
+        params = {
+            "workload": "gups",
+            "seed": 5,
+            "workload_kwargs": dict(SMALL),
+            "tenant": "acme",
+        }
+
+        async def main():
+            server = ServiceServer(
+                port=0,
+                reap_interval_s=0,
+                workers=1,
+                tenant_quota=1,
+                ledger_dir=str(tmp_path),
+            )
+            await server.start()
+            try:
+                client = await WireClient.open(server.address)
+                info = await client.request("create_session", **params)
+                sid = info["session"]
+                await client.request("step", session=sid, epochs=2)
+                await client.request("subscribe", session=sid)
+
+                os.kill(
+                    server._pool.workers[info["worker"]].process.pid,
+                    signal.SIGKILL,
+                )
+                while True:
+                    frame = await client.next_event()
+                    if frame["event"] == "recovered":
+                        break
+
+                # The recovered session holds exactly its original
+                # slot: a second create for the tenant is over quota.
+                with pytest.raises(ServiceError) as exc_info:
+                    await client.request("create_session", **params)
+                assert exc_info.value.code == ErrorCode.OVERLOADED
+                srv_info = await client.request("server_info")
+                assert srv_info["tenants"] == {"acme": 1}
+
+                # Closing releases it exactly once: the tenant can
+                # create again, and the accounting ends at zero.
+                closed = await client.request("close_session", session=sid)
+                assert closed["result"]["epochs_run"] == 2
+                fresh = await client.request("create_session", **params)
+                await client.request(
+                    "close_session", session=fresh["session"]
+                )
+                srv_info = await client.request("server_info")
+                assert srv_info["tenants"] == {}
+                await client.close()
+            finally:
+                await server.drain()
+
+        run_async(main())
+
+    @staticmethod
+    def _crash(session, timeout_s=20.0):
+        """SIGKILL the session's worker; wait for crash + respawn."""
+        worker = session.worker
+        os.kill(worker.process.pid, signal.SIGKILL)
+        end = time.monotonic() + timeout_s
+        while time.monotonic() < end:
+            if (
+                session.crashed is not None
+                and worker.process is not None
+                and worker.process.is_alive()
+            ):
+                return
+            time.sleep(0.02)
+        raise AssertionError("worker did not crash/respawn in time")
+
+    def test_close_before_recovery_is_honored_not_resurrected(self):
+        """A session closed while crashed must stay closed: recovery
+        aborts instead of re-pinning it to a worker as an unmanaged
+        zombie that holds a worker slot forever."""
+        pool = WorkerPool(1)
+        try:
+            session = pool.session_factory(
+                "doomed", workload="gups", seed=3, workload_kwargs=dict(SMALL)
+            )
+            self._crash(session)
+            session.close()
+            with pytest.raises(ServiceError) as exc_info:
+                pool.recover_session(
+                    session,
+                    {"workload": "gups", "seed": 3,
+                     "workload_kwargs": dict(SMALL)},
+                    0,
+                )
+            assert exc_info.value.code == ErrorCode.UNKNOWN_SESSION
+            assert pool._sessions == {}
+            assert all(not w.sessions for w in pool.workers)
+        finally:
+            pool.shutdown()
+
+    def test_close_mid_rebuild_drops_the_rebuilt_copy(self):
+        """close() landing while the worker is rebuilding: the freshly
+        rebuilt worker-side copy is dropped, not adopted."""
+        pool = WorkerPool(1)
+        try:
+            session = pool.session_factory(
+                "doomed", workload="gups", seed=4, workload_kwargs=dict(SMALL)
+            )
+            session.step(2)
+            self._crash(session)
+
+            worker = pool.workers[0]
+            real_request = worker.request
+            rebuild_started = threading.Event()
+            close_done = threading.Event()
+
+            def gated_request(op, payload=None, **kw):
+                if op == "recover":
+                    rebuild_started.set()
+                    assert close_done.wait(15)
+                return real_request(op, payload, **kw)
+
+            worker.request = gated_request
+            result = {}
+
+            def recover():
+                try:
+                    pool.recover_session(
+                        session,
+                        {"workload": "gups", "seed": 4,
+                         "workload_kwargs": dict(SMALL)},
+                        2,
+                    )
+                except ServiceError as exc:
+                    result["code"] = exc.code
+
+            thread = threading.Thread(target=recover)
+            thread.start()
+            assert rebuild_started.wait(15)
+            session.close()  # crashed close: local, no worker RPC
+            close_done.set()
+            thread.join(30)
+            assert not thread.is_alive()
+
+            assert result.get("code") == ErrorCode.UNKNOWN_SESSION
+            assert pool._sessions == {}
+            assert all(not w.sessions for w in pool.workers)
+            # The worker-side rebuilt copy was closed too: a fresh
+            # session with the same id builds cleanly.
+            fresh = pool.session_factory(
+                "doomed", workload="gups", seed=4, workload_kwargs=dict(SMALL)
+            )
+            assert fresh.step(1)["epochs_run"] == 1
+            fresh.close()
+        finally:
+            pool.shutdown()
